@@ -1,0 +1,38 @@
+"""Benchmarks regenerating Figure 10 (caching x locality) and Figure 11
+(model-parameter sensitivity)."""
+
+from repro.experiments import fig10_caching, fig11_sensitivity
+
+from conftest import attach_rows, run_once
+
+
+def test_fig10_caching_locality_sweep(benchmark):
+    result = run_once(benchmark, fig10_caching.run, fast=True)
+    attach_rows(
+        benchmark,
+        result,
+        ["model", "K", "batch", "speedup_cache", "speedup_part", "lru_hit"],
+    )
+    for row in result.filter(K=0):
+        assert float(row["speedup_cache"]) < 1.4  # baseline competitive
+    for row in result.filter(K=2):
+        assert float(row["speedup_cache"]) > 1.5  # RecSSD wins at low locality
+    assert max(float(r["speedup_part"]) for r in result.rows) >= 2.0
+
+
+def test_fig11a_feature_and_quantization(benchmark):
+    result = run_once(benchmark, fig11_sensitivity.run_feature_quant, fast=True)
+    attach_rows(benchmark, result, ["dim", "dtype", "row_bytes", "ndp_speedup"])
+    fp32 = sorted(
+        (int(r["dim"]), float(r["ndp_speedup"]))
+        for r in result.rows
+        if r["dtype"] == "fp32"
+    )
+    assert fp32[0][1] > fp32[-1][1]  # bigger vectors -> less NDP benefit
+
+
+def test_fig11b_indices_and_tables(benchmark):
+    result = run_once(benchmark, fig11_sensitivity.run_indices_tables, fast=True)
+    attach_rows(benchmark, result, ["sweep", "value", "ndp_speedup"])
+    for row in result.rows:
+        assert float(row["ndp_speedup"]) > 1.5

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating Figure 5 (DRAM vs SSD SLS) and Figure 8
+(SEQ/STR microbenchmark with the NDP FTL breakdown)."""
+
+from repro.experiments import fig5_sls, fig8_breakdown
+
+from conftest import attach_rows, run_once
+
+
+def test_fig5_sls_dram_vs_ssd(benchmark):
+    result = run_once(benchmark, fig5_sls.run, fast=True, table_rows=1 << 19)
+    attach_rows(benchmark, result, ["batch", "dram_ms", "ssd_ms", "slowdown"])
+    for row in result.rows:
+        if row["batch"] >= 8:
+            assert float(row["slowdown"]) > 100.0
+
+
+def test_fig8_seq_str_breakdown(benchmark):
+    result = run_once(benchmark, fig8_breakdown.run, fast=True)
+    attach_rows(
+        benchmark,
+        result,
+        ["pattern", "batch", "ndp_speedup", "translation_ms", "flash_read_ms"],
+    )
+    for row in result.filter(pattern="STR"):
+        assert float(row["ndp_speedup"]) > 2.5  # paper: up to ~4x
+    for row in result.filter(pattern="SEQ"):
+        assert float(row["ndp_speedup"]) < 1.0  # baseline wins on SEQ

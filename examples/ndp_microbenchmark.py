@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""SLS operator microbenchmark with the FTL time breakdown (mini Figure 8).
+
+Runs sequential (SEQ) and strided (STR) access patterns through the
+baseline block interface and the NDP interface, printing the four FTL
+time components the paper reports: Config Write, Config Process,
+Translation, Flash Read.
+"""
+
+import numpy as np
+
+from repro.embedding.backends import NdpSlsBackend, SsdSlsBackend
+from repro.embedding.spec import Layout, TableSpec
+from repro.embedding.table import EmbeddingTable
+from repro.experiments.fig8_breakdown import make_pattern_bags
+from repro.host.system import build_system
+
+
+def run_pattern(pattern: str, batch: int = 64, lookups: int = 80) -> None:
+    table_rows = 1 << 19
+
+    def fresh():
+        system = build_system(min_capacity_pages=table_rows // 64 + (1 << 16))
+        table = EmbeddingTable(
+            TableSpec("bench", rows=table_rows, dim=32, layout=Layout.PACKED),
+            seed=1,
+        )
+        table.attach(system.device)
+        return system, table
+
+    rng = np.random.default_rng(0)
+    sys_b, tab_b = fresh()
+    sys_n, tab_n = fresh()
+    bags = make_pattern_bags(pattern, batch, lookups, table_rows, tab_b.rows_per_page, rng)
+
+    base = SsdSlsBackend(sys_b, tab_b).run_sync(bags)
+    ndp = NdpSlsBackend(sys_n, tab_n).run_sync(bags)
+    assert np.allclose(base.values, ndp.values, rtol=1e-4, atol=1e-5)
+
+    print(f"\n=== {pattern} (batch {batch}, {lookups} lookups/sample) ===")
+    print(f"baseline: {base.latency * 1e3:8.2f} ms  "
+          f"({base.stats['commands']:.0f} NVMe commands)")
+    print(f"NDP     : {ndp.latency * 1e3:8.2f} ms  "
+          f"(speedup {base.latency / ndp.latency:.2f}x, "
+          f"{ndp.stats['flash_pages_read']:.0f} flash pages)")
+    print("NDP FTL breakdown:")
+    for key in ("config_write", "config_process", "translation", "flash_read"):
+        value = ndp.breakdown.get(key)
+        print(f"  {key:>14}: {value * 1e3:7.2f} ms")
+
+
+def main() -> None:
+    for pattern in ("SEQ", "STR"):
+        run_pattern(pattern)
+
+
+if __name__ == "__main__":
+    main()

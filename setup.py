@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Exists so `pip install -e .` works in offline environments without the
+`wheel` package (pip's legacy editable path uses `setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

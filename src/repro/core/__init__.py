@@ -1,0 +1,22 @@
+"""RecSSD's contribution: the in-FTL NDP SparseLengthsSum engine."""
+
+from .config import CONFIG_HEADER_BYTES, PAIR_BYTES, SlsConfig, build_pairs
+from .embcache import DirectMappedEmbeddingCache
+from .engine import NdpEngineConfig, NdpSlsEngine, SlsResultPayload
+from .extract import extract_vectors
+from .request import PageWork, SlsRequestEntry, SlsState
+
+__all__ = [
+    "CONFIG_HEADER_BYTES",
+    "PAIR_BYTES",
+    "SlsConfig",
+    "build_pairs",
+    "DirectMappedEmbeddingCache",
+    "NdpEngineConfig",
+    "NdpSlsEngine",
+    "SlsResultPayload",
+    "extract_vectors",
+    "PageWork",
+    "SlsRequestEntry",
+    "SlsState",
+]

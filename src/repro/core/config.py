@@ -1,0 +1,103 @@
+"""SLS command configuration (the payload of the NDP config-write).
+
+Mirrors Section 4.3: the parameters passed to the SSD are the embedding
+vector dimensions (attribute size / vector length), the number of input
+embeddings to gather, the number of result embeddings to return, and a
+list of ``(input_id, result_id)`` pairs **sorted by input id** so the
+weak SSD CPU can process them in one page-ordered scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..quant import EmbDtype, QuantSpec
+
+__all__ = ["SlsConfig", "CONFIG_HEADER_BYTES", "PAIR_BYTES", "build_pairs"]
+
+CONFIG_HEADER_BYTES = 64
+PAIR_BYTES = 8  # (input_id: u32, result_id: u32)
+
+
+def build_pairs(bags: list[np.ndarray]) -> np.ndarray:
+    """Build a sorted (input_id, result_id) pair array from per-result bags.
+
+    ``bags[r]`` holds the input ids accumulated into result ``r`` — one bag
+    per (sample, table) lookup set, exactly the SparseLengthsSum layout.
+    """
+    ids = []
+    results = []
+    for result_id, bag in enumerate(bags):
+        bag = np.asarray(bag, dtype=np.int64).reshape(-1)
+        ids.append(bag)
+        results.append(np.full(bag.size, result_id, dtype=np.int64))
+    if not ids:
+        return np.zeros((0, 2), dtype=np.int64)
+    pairs = np.stack([np.concatenate(ids), np.concatenate(results)], axis=1)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+@dataclass
+class SlsConfig:
+    """One NDP SLS operation over a single embedding table."""
+
+    table_base_lba: int
+    request_id: int
+    pairs: np.ndarray                 # [n, 2] int64, sorted by input id
+    num_results: int
+    vec_dim: int
+    quant: QuantSpec = field(default_factory=QuantSpec)
+    rows_per_page: int = 1            # layout: vectors packed per flash page
+    table_rows: Optional[int] = None  # for validation when known
+
+    def __post_init__(self) -> None:
+        self.pairs = np.asarray(self.pairs, dtype=np.int64)
+        if self.pairs.ndim != 2 or self.pairs.shape[1] != 2:
+            raise ValueError("pairs must be an [n, 2] array")
+        if self.num_results < 1:
+            raise ValueError("num_results must be >= 1")
+        if self.vec_dim < 1:
+            raise ValueError("vec_dim must be >= 1")
+        if self.rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+        if self.pairs.size:
+            if not np.all(np.diff(self.pairs[:, 0]) >= 0):
+                raise ValueError("pairs must be sorted by input id")
+            if self.pairs[:, 0].min() < 0:
+                raise ValueError("negative input id")
+            if self.pairs[:, 1].min() < 0 or self.pairs[:, 1].max() >= self.num_results:
+                raise ValueError("result id out of range")
+            if self.table_rows is not None and self.pairs[:, 0].max() >= self.table_rows:
+                raise ValueError("input id exceeds table rows")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return int(self.pairs.shape[0])
+
+    @property
+    def row_bytes(self) -> int:
+        return self.quant.row_bytes(self.vec_dim)
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Size of the config blob DMAed to the SSD."""
+        return CONFIG_HEADER_BYTES + self.num_inputs * PAIR_BYTES
+
+    @property
+    def result_bytes(self) -> int:
+        """Result embeddings are returned as float32 regardless of storage."""
+        return self.num_results * self.vec_dim * 4
+
+    def result_pages(self, page_bytes: int) -> int:
+        return max(1, -(-self.result_bytes // page_bytes))
+
+    def pages_touched(self) -> np.ndarray:
+        """Distinct table-relative page indices this request gathers from."""
+        if not self.pairs.size:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(self.pairs[:, 0] // self.rows_per_page)

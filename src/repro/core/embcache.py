@@ -1,0 +1,91 @@
+"""SSD-side direct-mapped embedding cache (Section 4.2).
+
+The FTL runs on a simple CPU without dynamic allocation, so the SSD-side
+cache is direct mapped: no LRU metadata updates on access, one tag
+compare per probe.  Entries are whole embedding vectors keyed by
+``(table, row)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DirectMappedEmbeddingCache"]
+
+
+class DirectMappedEmbeddingCache:
+    """Direct-mapped vector cache with a fixed slot count."""
+
+    def __init__(self, slots: int):
+        if slots < 0:
+            raise ValueError("slots must be >= 0")
+        self.slots = slots
+        # slot -> (tag, vector); tags are (table_key, row) tuples.  A dict
+        # keyed by slot keeps memory proportional to occupancy.
+        self._entries: Dict[int, Tuple[Tuple[int, int], np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.conflict_evictions = 0
+        self.inserts = 0
+
+    # ------------------------------------------------------------------
+    def _slot(self, table_key: int, row: int) -> int:
+        # Simple modular hash: cheap enough for firmware, spreads both the
+        # row index and the table id.
+        return (row * 2654435761 + table_key * 97) % self.slots
+
+    def lookup(self, table_key: int, row: int) -> Optional[np.ndarray]:
+        if self.slots == 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(self._slot(table_key, row))
+        if entry is not None and entry[0] == (table_key, row):
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def insert(self, table_key: int, row: int, vector: np.ndarray) -> None:
+        if self.slots == 0:
+            return
+        slot = self._slot(table_key, row)
+        existing = self._entries.get(slot)
+        if existing is not None and existing[0] != (table_key, row):
+            self.conflict_evictions += 1
+        self._entries[slot] = ((table_key, row), vector)
+        self.inserts += 1
+
+    def lookup_many(
+        self, table_key: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, list[Optional[np.ndarray]]]:
+        """Vectorized probe: returns (hit_mask, vectors aligned to rows)."""
+        hit_mask = np.zeros(rows.size, dtype=bool)
+        vectors: list[Optional[np.ndarray]] = [None] * rows.size
+        for i, row in enumerate(rows):
+            vec = self.lookup(table_key, int(row))
+            if vec is not None:
+                hit_mask[i] = True
+                vectors[i] = vec
+        return hit_mask, vectors
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.conflict_evictions = 0
+        self.inserts = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.reset_stats()

@@ -1,0 +1,392 @@
+"""The RecSSD NDP SLS engine: the paper's core contribution.
+
+Implements the lifetime in Figure 7.  A write-like NVMe command carries
+the SLS configuration (step 1a); config processing buckets the sorted
+input list by flash page, probing the SSD-side embedding cache as a fast
+path (steps 2a/2b); a scheduling layer feeds per-entry page requests into
+the low-level page machinery round-robin so concurrent SLS requests share
+flash bandwidth fairly (step 3a), consulting the FTL page cache (step
+3b); completed pages trigger the translation step that extracts and
+accumulates the needed vectors into the result scratchpad (steps 4-5);
+and a read-like command returns the accumulated result pages (steps
+1b/6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional
+
+import numpy as np
+
+from ..ftl.ftl import GreedyFtl
+from ..nvme.commands import NvmeCommand, SlbaCodec, Status
+from ..sim.kernel import Simulator
+from ..sim.stats import Breakdown
+from .config import SlsConfig
+from .embcache import DirectMappedEmbeddingCache
+from .extract import extract_vectors
+from .request import PageWork, SlsRequestEntry, SlsState
+
+__all__ = ["NdpEngineConfig", "NdpSlsEngine", "SlsResultPayload"]
+
+CompleteFn = Callable[[Any, Status], None]
+
+
+@dataclass
+class SlsResultPayload:
+    """Returned by the result-read command."""
+
+    values: np.ndarray          # float32 [num_results, vec_dim]
+    breakdown: Breakdown
+    flash_pages_read: int
+    page_cache_hits: int
+    emb_cache_hits: int
+
+
+@dataclass(frozen=True)
+class NdpEngineConfig:
+    max_entries: int = 32                  # pending-SLS-request buffer size
+    inflight_pages_window: int = 128       # page requests outstanding to flash
+    process_chunk_pairs: int = 512         # config-processing CPU granularity
+    embcache_slots: int = 0                # 0 disables the SSD-side cache
+    use_page_cache: bool = True            # step 3b fast path
+
+
+class NdpSlsEngine:
+    """Attached to the FTL; receives NDP-flagged commands from the controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ftl: GreedyFtl,
+        controller: Any,
+        codec: SlbaCodec,
+        config: Optional[NdpEngineConfig] = None,
+    ):
+        self.sim = sim
+        self.ftl = ftl
+        self.controller = controller
+        self.codec = codec
+        self.config = config or NdpEngineConfig()
+        self.entries: Dict[int, SlsRequestEntry] = {}
+        self.emb_cache = DirectMappedEmbeddingCache(self.config.embcache_slots)
+        # Round-robin feed order across entries with pending pages.
+        self._feed_queue: Deque[SlsRequestEntry] = deque()
+        self._inflight_pages = 0
+        self.requests_started = 0
+        self.requests_completed = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Config-write half (steps 1a, 2a/2b)
+    # ------------------------------------------------------------------
+    def handle_config_write(self, cmd: NvmeCommand, done: CompleteFn) -> None:
+        sls_config = cmd.data
+        if not isinstance(sls_config, SlsConfig):
+            done(None, Status.INVALID_FIELD)
+            return
+        table_base_lba, request_id = self.codec.decode(cmd.slba)
+        if table_base_lba != sls_config.table_base_lba:
+            done(None, Status.INVALID_FIELD)
+            return
+        if request_id in self.entries or len(self.entries) >= self.config.max_entries:
+            self.requests_rejected += 1
+            done(None, Status.INTERNAL_ERROR)
+            return
+        lbas_per_page = self.ftl.lbas_per_page
+        if table_base_lba % lbas_per_page != 0:
+            done(None, Status.INVALID_FIELD)
+            return
+
+        entry = SlsRequestEntry(
+            request_id=request_id,
+            config=sls_config,
+            table_base_lpn=table_base_lba // lbas_per_page,
+            t_start=self.sim.now,
+        )
+        entry.init_scratchpad()
+        self.entries[request_id] = entry
+        self.requests_started += 1
+        costs = self.ftl.cpu.costs
+
+        def after_alloc() -> None:
+            entry.state = SlsState.CONFIG_TRANSFER
+            self.controller.dma_to_device(sls_config.encoded_bytes, after_dma)
+
+        def after_dma() -> None:
+            entry.t_config_written = self.sim.now
+            # The write-like command completes once the SSD holds the config;
+            # processing continues asynchronously inside the FTL.
+            done(None, Status.SUCCESS)
+            self._process_config(entry)
+
+        self.ftl.cpu.ftl_core.submit(costs.sls_entry_alloc_s, after_alloc)
+
+    # ------------------------------------------------------------------
+    def _process_config(self, entry: SlsRequestEntry) -> None:
+        """Reformat inputs, probe the embedding cache, bucket by flash page."""
+        entry.state = SlsState.PROCESSING
+        cfg = entry.config
+        pairs = cfg.pairs
+        rows = pairs[:, 0]
+        result_ids = pairs[:, 1]
+
+        if cfg.table_rows is not None and rows.size and rows.max() >= cfg.table_rows:
+            self._fail_entry(entry, "input id exceeds table rows")
+            return
+
+        # Embedding-cache fast path (step 2a): hits skip flash entirely.
+        if self.emb_cache.slots > 0 and rows.size:
+            table_key = entry.table_base_lpn
+            miss_mask = np.ones(rows.size, dtype=bool)
+            for i in range(rows.size):
+                vec = self.emb_cache.lookup(table_key, int(rows[i]))
+                if vec is not None:
+                    entry.cache_vectors.append(vec)
+                    entry.cache_result_ids.append(int(result_ids[i]))
+                    miss_mask[i] = False
+            entry.emb_cache_hits = int(rows.size - miss_mask.sum())
+            rows = rows[miss_mask]
+            result_ids = result_ids[miss_mask]
+
+        # Bucket misses by page (input is sorted by id, so pages come out
+        # grouped; np.unique gives the page boundaries directly).
+        if rows.size:
+            page_idx = rows // cfg.rows_per_page
+            slots = rows % cfg.rows_per_page
+            uniq_pages, starts = np.unique(page_idx, return_index=True)
+            bounds = list(starts) + [rows.size]
+            for i, page in enumerate(uniq_pages):
+                lo, hi = bounds[i], bounds[i + 1]
+                entry.pending_pages.append(
+                    PageWork(
+                        lpn=int(entry.table_base_lpn + page),
+                        slots=slots[lo:hi].copy(),
+                        result_ids=result_ids[lo:hi].copy(),
+                    )
+                )
+        self._interleave_by_channel(entry)
+        entry.pages_total = len(entry.pending_pages)
+        entry.cache_work_pending = bool(entry.cache_vectors)
+
+        # Pay the per-pair scan cost in chunks so page scheduling and
+        # translation interleave with processing on the single FTL core.
+        total_pairs = cfg.num_inputs
+        chunk = self.config.process_chunk_pairs
+        costs = self.ftl.cpu.costs
+
+        def run_chunk(done_pairs: int) -> None:
+            if done_pairs >= total_pairs:
+                finish_processing()
+                return
+            n = min(chunk, total_pairs - done_pairs)
+            cost = n * costs.sls_pair_s
+            entry.cpu_config_process += cost
+            self.ftl.cpu.ftl_core.submit(
+                cost, lambda: run_chunk(done_pairs + n), priority=1
+            )
+
+        def finish_processing() -> None:
+            entry.t_processed = self.sim.now
+            entry.state = SlsState.GATHERING
+            if entry.pages_total:
+                self._feed_queue.append(entry)
+            self._accumulate_cache_hits(entry)
+            self._pump()
+            self._maybe_finish(entry)
+
+        if total_pairs == 0:
+            finish_processing()
+        else:
+            run_chunk(0)
+
+    def _interleave_by_channel(self, entry: SlsRequestEntry) -> None:
+        """Reorder page work round-robin across flash channels.
+
+        The prototype feeds page requests into the FTL's per-channel
+        request queues, which drain independently; issuing page-sorted
+        requests through a single window would serialize on one die at a
+        time (table pages are contiguous within a block).  Interleaving by
+        channel reproduces the per-channel-queue parallelism.
+        """
+        if len(entry.pending_pages) < 2:
+            return
+        geometry = self.ftl.geometry
+        mapping = self.ftl.mapping
+        buckets: Dict[int, Deque[PageWork]] = {}
+        for work in entry.pending_pages:
+            ppn = mapping.lookup(work.lpn)
+            channel = geometry.addr(ppn).channel if ppn >= 0 else 0
+            buckets.setdefault(channel, deque()).append(work)
+        interleaved: Deque[PageWork] = deque()
+        queues = [buckets[c] for c in sorted(buckets)]
+        while queues:
+            remaining = []
+            for q in queues:
+                interleaved.append(q.popleft())
+                if q:
+                    remaining.append(q)
+            queues = remaining
+        entry.pending_pages = interleaved
+
+    def _fail_entry(self, entry: SlsRequestEntry, reason: str) -> None:
+        entry.state = SlsState.FAILED
+        entry.error = reason
+        entry.t_work_done = self.sim.now
+        waiters, entry.result_waiters = entry.result_waiters, []
+        for waiter in waiters:
+            waiter()
+
+    # ------------------------------------------------------------------
+    def _accumulate_cache_hits(self, entry: SlsRequestEntry) -> None:
+        if not entry.cache_vectors:
+            entry.cache_work_pending = False
+            return
+        vectors = np.stack(entry.cache_vectors)
+        ids = np.asarray(entry.cache_result_ids, dtype=np.int64)
+        cost = len(ids) * self.ftl.cpu.costs.sls_cache_hit_vec_s
+        entry.cpu_translation += cost
+
+        def apply() -> None:
+            np.add.at(entry.scratchpad, ids, vectors)
+            entry.cache_work_pending = False
+            self._maybe_finish(entry)
+
+        self.ftl.cpu.ftl_core.submit(cost, apply, priority=1)
+
+    # ------------------------------------------------------------------
+    # Page scheduling layer (step 3): RR feed into the page machinery.
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        while (
+            self._inflight_pages < self.config.inflight_pages_window
+            and self._feed_queue
+        ):
+            entry = self._feed_queue.popleft()
+            if not entry.pending_pages:
+                continue
+            work = entry.pending_pages.popleft()
+            if entry.pending_pages:
+                # Round-robin: move the entry to the back so concurrent SLS
+                # requests interleave page by page (fair sharing, Sec 4.1).
+                self._feed_queue.append(entry)
+            self._inflight_pages += 1
+            self._issue_page(entry, work)
+
+    def _issue_page(self, entry: SlsRequestEntry, work: PageWork) -> None:
+        costs = self.ftl.cpu.costs
+
+        def after_sched() -> None:
+            if self.config.use_page_cache:
+                hit, content = self.ftl.page_cache.peek(work.lpn)
+                if hit:
+                    entry.page_cache_hits += 1
+                    self._page_returned(entry, work, content)
+                    return
+            entry.flash_pages_read += 1
+            self.ftl.ndp_read_mapped_page(
+                work.lpn, lambda content: self._page_returned(entry, work, content)
+            )
+
+        self.ftl.cpu.ftl_core.submit(costs.sls_page_sched_s, after_sched)
+
+    def _page_returned(self, entry: SlsRequestEntry, work: PageWork, content: Any) -> None:
+        # The inflight window bounds *flash* occupancy; once the page data is
+        # back on-chip the window slot frees so flash reads overlap with the
+        # CPU-side translation backlog.
+        self._inflight_pages -= 1
+        self._pump()
+        self._translate(entry, work, content)
+
+    # ------------------------------------------------------------------
+    # Translation (steps 4-5)
+    # ------------------------------------------------------------------
+    def _translate(self, entry: SlsRequestEntry, work: PageWork, content: Any) -> None:
+        cfg = entry.config
+        costs = self.ftl.cpu.costs
+        nbytes = work.slots.size * cfg.row_bytes
+        cost = costs.sls_translate_fixed_s + nbytes * costs.sls_translate_byte_s
+        entry.cpu_translation += cost
+
+        def apply() -> None:
+            vectors = extract_vectors(
+                content, work.slots, cfg.vec_dim, cfg.rows_per_page, cfg.quant
+            )
+            np.add.at(entry.scratchpad, work.result_ids, vectors)
+            if self.emb_cache.slots > 0:
+                table_key = entry.table_base_lpn
+                page_row0 = (work.lpn - entry.table_base_lpn) * cfg.rows_per_page
+                seen: set[int] = set()
+                for i, slot in enumerate(work.slots):
+                    row = page_row0 + int(slot)
+                    if row not in seen:
+                        seen.add(row)
+                        self.emb_cache.insert(table_key, row, vectors[i])
+            entry.pages_done += 1
+            entry.pages_inflight -= 1
+            self._maybe_finish(entry)
+
+        entry.pages_inflight += 1
+        self.ftl.cpu.ftl_core.submit(cost, apply, priority=1)
+
+    # ------------------------------------------------------------------
+    def _maybe_finish(self, entry: SlsRequestEntry) -> None:
+        if entry.state is not SlsState.GATHERING or not entry.work_done:
+            return
+        entry.state = SlsState.COMPLETE
+        entry.t_work_done = self.sim.now
+        self.requests_completed += 1
+        waiters, entry.result_waiters = entry.result_waiters, []
+        for waiter in waiters:
+            waiter()
+
+    # ------------------------------------------------------------------
+    # Result-read half (steps 1b, 6)
+    # ------------------------------------------------------------------
+    def handle_result_read(self, cmd: NvmeCommand, done: CompleteFn) -> None:
+        _table_base, request_id = self.codec.decode(cmd.slba)
+        entry = self.entries.get(request_id)
+        if entry is None:
+            done(None, Status.INVALID_FIELD)
+            return
+
+        def deliver() -> None:
+            if entry.state is SlsState.FAILED:
+                self.entries.pop(entry.request_id, None)
+                done(None, Status.INVALID_FIELD)
+                return
+            self._stage_results(entry, done)
+
+        if entry.state is SlsState.COMPLETE or entry.state is SlsState.FAILED:
+            deliver()
+        else:
+            entry.result_waiters.append(deliver)
+
+    def _stage_results(self, entry: SlsRequestEntry, done: CompleteFn) -> None:
+        cfg = entry.config
+        n_pages = cfg.result_pages(self.ftl.page_bytes)
+        costs = self.ftl.cpu.costs
+        stage_cost = n_pages * costs.sls_result_page_s
+
+        def after_stage() -> None:
+            self.controller.dma_to_host(cfg.result_bytes, after_dma)
+
+        def after_dma() -> None:
+            self.entries.pop(entry.request_id, None)
+            payload = SlsResultPayload(
+                values=entry.scratchpad,
+                breakdown=entry.breakdown(),
+                flash_pages_read=entry.flash_pages_read,
+                page_cache_hits=entry.page_cache_hits,
+                emb_cache_hits=entry.emb_cache_hits,
+            )
+            done(payload, Status.SUCCESS)
+
+        self.ftl.cpu.ftl_core.submit(stage_cost, after_stage, priority=1)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        return len(self.entries)

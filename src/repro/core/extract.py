@@ -1,0 +1,48 @@
+"""Extract embedding vectors from flash page content.
+
+Page content can be a virtual table page (fast path used for preloaded
+tables), a raw byte buffer written through the IO path, or ``None`` for
+never-written pages.  All paths return float32 vectors, dequantizing as
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..quant import QuantSpec, decode_vectors
+
+__all__ = ["extract_vectors"]
+
+
+def extract_vectors(
+    content: Any,
+    slots: np.ndarray,
+    vec_dim: int,
+    rows_per_page: int,
+    quant: QuantSpec,
+) -> np.ndarray:
+    """Return float32 ``[len(slots), vec_dim]`` for in-page row ``slots``."""
+    slots = np.asarray(slots, dtype=np.int64)
+    if slots.size and (slots.min() < 0 or slots.max() >= rows_per_page):
+        raise IndexError("slot out of page range")
+    if content is None:
+        return np.zeros((slots.size, vec_dim), dtype=np.float32)
+    vectors = getattr(content, "vectors", None)
+    if vectors is not None:
+        out = vectors(slots)
+        if out.shape != (slots.size, vec_dim):
+            raise ValueError("virtual page returned wrong vector shape")
+        return out
+    buf = np.asarray(content).view(np.uint8).reshape(-1)
+    row_bytes = quant.row_bytes(vec_dim)
+    needed = rows_per_page * row_bytes
+    if buf.size < needed:
+        raise ValueError(
+            f"page buffer too small: {buf.size} bytes < {needed} for layout"
+        )
+    rows = buf[:needed].reshape(rows_per_page, row_bytes)
+    raw = rows[slots].reshape(slots.size, row_bytes).view(quant.dtype.numpy_dtype)
+    return decode_vectors(raw.reshape(slots.size, vec_dim), quant)

@@ -1,0 +1,17 @@
+"""Host user-space driver models (UNVMe analogue + NDP SLS session)."""
+
+from .ndp import NdpError, NdpSlsSession, SlsTiming
+from .sync import run_all, sync_read, sync_sls, sync_write
+from .unvme import DriverConfig, UnvmeDriver
+
+__all__ = [
+    "NdpError",
+    "NdpSlsSession",
+    "SlsTiming",
+    "run_all",
+    "sync_read",
+    "sync_sls",
+    "sync_write",
+    "DriverConfig",
+    "UnvmeDriver",
+]

@@ -1,0 +1,115 @@
+"""Host-side NDP SLS session: the libflashrec analogue.
+
+Pairs the config-write and result-read halves of an SLS operation,
+allocating request ids within the SLBA codec's alignment window and
+returning the device's result payload (accumulated vectors + the FTL
+timing breakdown) to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Set
+
+import numpy as np
+
+from ..core.config import SlsConfig
+from ..core.engine import SlsResultPayload
+from ..nvme.commands import NvmeCommand, Opcode, Status
+from ..sim.stats import Breakdown
+from .unvme import UnvmeDriver
+
+__all__ = ["SlsTiming", "NdpSlsSession", "NdpError"]
+
+
+class NdpError(RuntimeError):
+    pass
+
+
+@dataclass
+class SlsTiming:
+    """Host-observed timing of one SLS operation."""
+
+    submit_time: float
+    config_done_time: float
+    result_time: float
+    breakdown: Breakdown
+
+    @property
+    def total(self) -> float:
+        return self.result_time - self.submit_time
+
+
+SlsCallback = Callable[[SlsResultPayload, SlsTiming], None]
+
+
+class NdpSlsSession:
+    """Issues NDP SLS operations through a :class:`UnvmeDriver`."""
+
+    def __init__(self, driver: UnvmeDriver):
+        self.driver = driver
+        self.codec = driver.device.codec
+        self._next_rid = 1
+        self._inflight_rids: Set[int] = set()
+        self.ops_completed = 0
+
+    # ------------------------------------------------------------------
+    def _allocate_rid(self) -> int:
+        for _ in range(self.codec.alignment):
+            rid = self._next_rid
+            self._next_rid = self._next_rid % (self.codec.alignment - 1) + 1
+            if rid not in self._inflight_rids:
+                self._inflight_rids.add(rid)
+                return rid
+        raise NdpError("no free request ids")
+
+    # ------------------------------------------------------------------
+    def sls(self, config: SlsConfig, on_done: SlsCallback) -> None:
+        """Run one SLS op: config write, then result read when ready."""
+        rid = self._allocate_rid()
+        config.request_id = rid
+        slba = self.codec.encode(config.table_base_lba, rid)
+        submit_time = self.driver.sim.now
+        config_nlb = self.driver.nlb_for_bytes(config.encoded_bytes)
+        result_nlb = self.driver.nlb_for_bytes(config.result_bytes)
+
+        def config_done(cpl) -> None:
+            if not cpl.ok:
+                self._inflight_rids.discard(rid)
+                raise NdpError(f"SLS config write failed: {cpl.status}")
+            self.driver.submit(
+                NvmeCommand(
+                    opcode=Opcode.READ, slba=slba, nlb=result_nlb, ndp=True
+                ),
+                result_done,
+            )
+
+        config_done_time = {"t": 0.0}
+
+        def config_done_wrapper(cpl) -> None:
+            config_done_time["t"] = self.driver.sim.now
+            config_done(cpl)
+
+        def result_done(cpl) -> None:
+            self._inflight_rids.discard(rid)
+            if not cpl.ok or not isinstance(cpl.payload, SlsResultPayload):
+                raise NdpError(f"SLS result read failed: {cpl.status}")
+            self.ops_completed += 1
+            timing = SlsTiming(
+                submit_time=submit_time,
+                config_done_time=config_done_time["t"],
+                result_time=self.driver.sim.now,
+                breakdown=cpl.payload.breakdown,
+            )
+            on_done(cpl.payload, timing)
+
+        self.driver.submit(
+            NvmeCommand(
+                opcode=Opcode.WRITE,
+                slba=slba,
+                nlb=config_nlb,
+                ndp=True,
+                data=config,
+            ),
+            config_done_wrapper,
+        )

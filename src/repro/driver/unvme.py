@@ -1,0 +1,148 @@
+"""User-space polling NVMe driver model (Micron UNVMe analogue).
+
+The paper's host stack uses UNVMe: a low-latency userspace library that
+polls for completions and uses the maximum number of threads/command
+queues.  We model per-command submission and completion-handling costs
+and the queue-depth backpressure of the qpairs; polling pickup is
+immediate (dedicated spinning threads).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..nvme.commands import NvmeCommand, NvmeCompletion, Opcode
+from ..nvme.queues import QueuePair
+from ..sim.kernel import Simulator
+from ..sim.stats import Accumulator
+from ..sim.units import us
+from ..ssd.device import SsdDevice
+
+__all__ = ["DriverConfig", "UnvmeDriver"]
+
+CompletionCallback = Callable[[NvmeCompletion], None]
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    num_qpairs: int = 8
+    queue_depth: int = 64
+    submit_cost_s: float = us(3.0)
+    complete_cost_s: float = us(2.0)
+
+    def __post_init__(self) -> None:
+        if self.num_qpairs < 1 or self.queue_depth < 1:
+            raise ValueError("qpairs and depth must be >= 1")
+
+
+class UnvmeDriver:
+    """Round-robin submission across qpairs with depth backpressure."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        config: Optional[DriverConfig] = None,
+    ):
+        self.sim = sim
+        self.device = device
+        self.config = config or DriverConfig()
+        self._qpairs: List[QueuePair] = [
+            device.create_qpair(self.config.queue_depth)
+            for _ in range(self.config.num_qpairs)
+        ]
+        self._callbacks: Dict[int, tuple[CompletionCallback, QueuePair]] = {}
+        self._backlog: Deque[tuple[NvmeCommand, CompletionCallback]] = deque()
+        self._rr = itertools.cycle(range(len(self._qpairs)))
+        for qp in self._qpairs:
+            qp.cq.set_notify(self._on_cq_post)
+        self.commands_issued = 0
+        self.command_latency = Accumulator()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, cmd: NvmeCommand, on_done: CompletionCallback) -> None:
+        """Issue ``cmd``; queues locally when every qpair is at full depth."""
+        qp = self._pick_qpair()
+        if qp is None:
+            self._backlog.append((cmd, on_done))
+            return
+        self._issue(qp, cmd, on_done)
+
+    def _pick_qpair(self) -> Optional[QueuePair]:
+        for _ in range(len(self._qpairs)):
+            qp = self._qpairs[next(self._rr)]
+            if qp.can_submit:
+                return qp
+        return None
+
+    def _issue(self, qp: QueuePair, cmd: NvmeCommand, on_done: CompletionCallback) -> None:
+        qp.outstanding += 1
+        cmd.submit_time = self.sim.now
+        self._callbacks[cmd.cid] = (on_done, qp)
+        self.commands_issued += 1
+        # Submission cost: build SQE + doorbell write from the host thread.
+        self.sim.schedule(self.config.submit_cost_s, lambda: qp.sq.push(cmd))
+
+    # ------------------------------------------------------------------
+    # Completion (polling)
+    # ------------------------------------------------------------------
+    def _on_cq_post(self, qid: int) -> None:
+        qp = self._qpairs[qid - 1]
+        cpl = qp.cq.poll()
+        if cpl is None:
+            return
+        self.sim.schedule(
+            self.config.complete_cost_s, lambda: self._deliver(qp, cpl)
+        )
+
+    def _deliver(self, qp: QueuePair, cpl: NvmeCompletion) -> None:
+        qp.outstanding -= 1
+        entry = self._callbacks.pop(cpl.cid, None)
+        self._drain_backlog()
+        if entry is None:
+            raise RuntimeError(f"completion for unknown cid {cpl.cid}")
+        on_done, _qp = entry
+        on_done(cpl)
+
+    def _drain_backlog(self) -> None:
+        while self._backlog:
+            qp = self._pick_qpair()
+            if qp is None:
+                return
+            cmd, on_done = self._backlog.popleft()
+            self._issue(qp, cmd, on_done)
+
+    # ------------------------------------------------------------------
+    # Convenience IO
+    # ------------------------------------------------------------------
+    def read(self, slba: int, nlb: int, on_done: CompletionCallback) -> None:
+        self.submit(NvmeCommand(opcode=Opcode.READ, slba=slba, nlb=nlb), on_done)
+
+    def write(
+        self, slba: int, nlb: int, data: np.ndarray, on_done: CompletionCallback
+    ) -> None:
+        self.submit(
+            NvmeCommand(opcode=Opcode.WRITE, slba=slba, nlb=nlb, data=data), on_done
+        )
+
+    def trim(self, slba: int, nlb: int, on_done: CompletionCallback) -> None:
+        """Deallocate an LBA range (TRIM)."""
+        self.submit(NvmeCommand(opcode=Opcode.DSM, slba=slba, nlb=nlb), on_done)
+
+    @property
+    def outstanding(self) -> int:
+        return sum(qp.outstanding for qp in self._qpairs) + len(self._backlog)
+
+    @property
+    def lba_bytes(self) -> int:
+        return self.device.ftl.config.lba_bytes
+
+    def nlb_for_bytes(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.lba_bytes))

@@ -1,0 +1,41 @@
+"""Embedding layer: tables, layouts, caches, SLS backends, pipelines."""
+
+from .backends import (
+    DramSlsBackend,
+    NdpSlsBackend,
+    SlsBackend,
+    SlsOpResult,
+    SsdSlsBackend,
+    flatten_bags,
+)
+from .caches import SetAssociativeLru, StaticPartitionCache, profile_hot_rows
+from .data import DenseTableData, TableData, VirtualTableData
+from .pipeline import InferencePipeline, PipelineBatchRecord, PipelineResult
+from .spec import Layout, TableSpec
+from .stage import EmbeddingStage, EmbStageResult
+from .table import EmbeddingTable, TablePageContent, TableRegion
+
+__all__ = [
+    "DramSlsBackend",
+    "NdpSlsBackend",
+    "SlsBackend",
+    "SlsOpResult",
+    "SsdSlsBackend",
+    "flatten_bags",
+    "SetAssociativeLru",
+    "StaticPartitionCache",
+    "profile_hot_rows",
+    "DenseTableData",
+    "TableData",
+    "VirtualTableData",
+    "InferencePipeline",
+    "PipelineBatchRecord",
+    "PipelineResult",
+    "Layout",
+    "TableSpec",
+    "EmbeddingStage",
+    "EmbStageResult",
+    "EmbeddingTable",
+    "TablePageContent",
+    "TableRegion",
+]

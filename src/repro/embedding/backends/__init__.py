@@ -1,0 +1,15 @@
+"""SLS storage backends: DRAM reference, baseline SSD, RecSSD NDP."""
+
+from .base import SlsBackend, SlsOpResult, flatten_bags
+from .dram import DramSlsBackend
+from .ndp import NdpSlsBackend
+from .ssd import SsdSlsBackend
+
+__all__ = [
+    "SlsBackend",
+    "SlsOpResult",
+    "flatten_bags",
+    "DramSlsBackend",
+    "NdpSlsBackend",
+    "SsdSlsBackend",
+]

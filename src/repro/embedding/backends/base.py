@@ -1,0 +1,73 @@
+"""SLS backend interface.
+
+A backend executes one SparseLengthsSum operation for one table over a
+batch of per-result bags, returning the accumulated vectors plus the
+simulated latency and a component breakdown.  Backends are asynchronous
+(the pipeline and multi-table stages overlap them); ``run_sync`` drives
+the simulator for one-off use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ...host.system import System
+from ...sim.stats import Breakdown
+from ..table import EmbeddingTable
+
+__all__ = ["SlsOpResult", "SlsBackend", "flatten_bags"]
+
+
+@dataclass
+class SlsOpResult:
+    values: np.ndarray
+    start_time: float
+    end_time: float
+    breakdown: Breakdown = field(default_factory=Breakdown)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.start_time
+
+
+def flatten_bags(bags: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Return (rows, result_ids) flattened from per-result bags."""
+    rows: List[np.ndarray] = []
+    rids: List[np.ndarray] = []
+    for i, bag in enumerate(bags):
+        bag = np.asarray(bag, dtype=np.int64).reshape(-1)
+        rows.append(bag)
+        rids.append(np.full(bag.size, i, dtype=np.int64))
+    if not rows:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    return np.concatenate(rows), np.concatenate(rids)
+
+
+class SlsBackend(ABC):
+    """One table's SLS executor on a given system."""
+
+    def __init__(self, system: System, table: EmbeddingTable):
+        self.system = system
+        self.table = table
+        self.ops = 0
+
+    @abstractmethod
+    def start(
+        self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]
+    ) -> None:
+        """Begin the operation; ``on_done(result)`` fires at completion."""
+
+    def run_sync(self, bags: Sequence[np.ndarray]) -> SlsOpResult:
+        box: List[SlsOpResult] = []
+        self.start(bags, box.append)
+        self.system.sim.run_until(lambda: bool(box))
+        return box[0]
+
+    @property
+    def name(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__

@@ -1,0 +1,120 @@
+"""RecSSD NDP SLS backend.
+
+Offloads the gather + accumulate to the SSD's FTL via the NDP session.
+With a static host partition (Section 4.2), profiled-hot rows are summed
+host-side and the SSD handles only the cold remainder; the returned
+partial sums are merged on the host — exactly the post-processing step
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...sim.stats import Breakdown
+from ..caches import StaticPartitionCache
+from ..table import EmbeddingTable
+from .base import SlsBackend, SlsOpResult
+
+__all__ = ["NdpSlsBackend"]
+
+
+class NdpSlsBackend(SlsBackend):
+    def __init__(
+        self,
+        system,
+        table: EmbeddingTable,
+        partition: Optional[StaticPartitionCache] = None,
+    ):
+        super().__init__(system, table)
+        self.partition = partition
+
+    # ------------------------------------------------------------------
+    def start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
+        self.ops += 1
+        sim = self.system.sim
+        host_cpu = self.system.host_cpu
+        table = self.table
+        start = sim.now
+        breakdown = Breakdown()
+        stats: Dict[str, float] = {}
+        n_results = len(bags)
+        partial = np.zeros((n_results, table.spec.dim), dtype=np.float32)
+        host_cost = host_cpu.config.op_overhead_s
+
+        cold_bags: List[np.ndarray] = []
+        total_lookups = 0
+        partition_hits = 0
+        if self.partition is not None:
+            for i, bag in enumerate(bags):
+                bag = np.asarray(bag, dtype=np.int64).reshape(-1)
+                total_lookups += bag.size
+                if bag.size == 0:
+                    cold_bags.append(bag)
+                    continue
+                mask = self.partition.partition_mask(bag)
+                hot = bag[mask]
+                if hot.size:
+                    partial[i] = self.partition.vectors_for(hot).sum(
+                        axis=0, dtype=np.float32
+                    )
+                    partition_hits += int(hot.size)
+                cold_bags.append(bag[~mask])
+            host_cost += host_cpu.accumulate_time(partition_hits, table.spec.row_bytes)
+            breakdown.add(
+                "host_partition",
+                host_cpu.accumulate_time(partition_hits, table.spec.row_bytes),
+            )
+        else:
+            cold_bags = [np.asarray(b, dtype=np.int64).reshape(-1) for b in bags]
+            total_lookups = int(sum(b.size for b in cold_bags))
+
+        stats["lookups"] = float(total_lookups)
+        stats["partition_hits"] = float(partition_hits)
+        n_cold = int(sum(b.size for b in cold_bags))
+        stats["cold_lookups"] = float(n_cold)
+
+        if n_cold == 0:
+            # Everything was served from the host partition.
+            def finish_local() -> None:
+                on_done(
+                    SlsOpResult(
+                        values=partial,
+                        start_time=start,
+                        end_time=sim.now,
+                        breakdown=breakdown,
+                        stats=stats,
+                    )
+                )
+
+            sim.schedule(host_cost, finish_local)
+            return
+
+        config = table.make_sls_config(cold_bags)
+
+        def ndp_done(payload, timing) -> None:
+            breakdown.merge(payload.breakdown)
+            stats["flash_pages_read"] = float(payload.flash_pages_read)
+            stats["ssd_page_cache_hits"] = float(payload.page_cache_hits)
+            stats["emb_cache_hits"] = float(payload.emb_cache_hits)
+            # Post-process: merge SSD partial sums with host partition sums.
+            merge_cost = host_cpu.accumulate_time(n_results, table.spec.row_bytes)
+            breakdown.add("host_merge", merge_cost)
+            values = payload.values + partial
+
+            def finish() -> None:
+                on_done(
+                    SlsOpResult(
+                        values=values,
+                        start_time=start,
+                        end_time=sim.now,
+                        breakdown=breakdown,
+                        stats=stats,
+                    )
+                )
+
+            sim.schedule(host_cost + merge_cost, finish)
+
+        self.system.session_for(self.table.device).sls(config, ndp_done)

@@ -1,0 +1,83 @@
+"""Embedding table data sources.
+
+``DenseTableData`` holds an explicit float32 array (small tables, tests).
+``VirtualTableData`` generates deterministic per-row vectors on demand
+from a seeded pool, so the 16GB logical footprint of a million-row
+one-vector-per-page table costs a few MB of host RAM.  Both produce
+identical values every time for a given (seed, row), which is what lets
+every backend's result be checked against the in-DRAM reference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["TableData", "DenseTableData", "VirtualTableData"]
+
+_STAMP_PRIME = 1_000_003
+_HASH_MULT = 2_654_435_761
+
+
+class TableData(ABC):
+    """Source of raw (pre-quantization) float32 row vectors."""
+
+    rows: int
+    dim: int
+
+    @abstractmethod
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Return float32 ``[len(ids), dim]``; ids must be in range."""
+
+    def _check_ids(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.rows):
+            raise IndexError(
+                f"row id out of range [0, {self.rows}) "
+                f"(got min={ids.min()}, max={ids.max()})"
+            )
+        return ids
+
+
+class DenseTableData(TableData):
+    def __init__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=np.float32)
+        if values.ndim != 2:
+            raise ValueError("values must be 2-D [rows, dim]")
+        self.values = values
+        self.rows, self.dim = values.shape
+
+    @classmethod
+    def random(cls, rows: int, dim: int, seed: int = 0) -> "DenseTableData":
+        rng = np.random.default_rng(seed)
+        return cls(rng.standard_normal((rows, dim)).astype(np.float32) * 0.1)
+
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        return self.values[ids].copy()
+
+
+class VirtualTableData(TableData):
+    """Deterministic synthetic rows: pooled base vectors plus a row stamp.
+
+    ``row r`` is ``pool[r % pool_rows]`` with element 0 replaced by a
+    row-unique hash value, so distinct rows are distinguishable (sum
+    mismatches are detectable) while generation stays vectorized.
+    """
+
+    def __init__(self, rows: int, dim: int, seed: int = 0, pool_rows: int = 4096):
+        if rows < 1 or dim < 1 or pool_rows < 1:
+            raise ValueError("rows, dim, pool_rows must be >= 1")
+        self.rows = rows
+        self.dim = dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._pool = rng.standard_normal((min(pool_rows, rows), dim)).astype(np.float32) * 0.1
+
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        out = self._pool[ids % self._pool.shape[0]].copy()
+        stamp = ((ids * _HASH_MULT + self.seed) % _STAMP_PRIME).astype(np.float32)
+        out[:, 0] = stamp / _STAMP_PRIME - 0.5
+        return out

@@ -1,0 +1,133 @@
+"""Two-stage inference pipeline (Section 4.2: multi-threading/pipelining).
+
+SLS workers prefetch the embeddings of batch ``i+1`` while neural-network
+workers compute batch ``i``.  In steady state the per-batch latency is
+governed by the slower stage; the pipeline simulator runs real batches
+through the DES so the embedding stage sees genuine device contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.kernel import Simulator
+from ..sim.stats import Accumulator
+from .stage import EmbeddingStage, EmbStageResult
+
+__all__ = ["PipelineBatchRecord", "PipelineResult", "InferencePipeline"]
+
+DenseTimeFn = Callable[[int, EmbStageResult], float]  # (batch index, emb result)
+
+
+@dataclass
+class PipelineBatchRecord:
+    index: int
+    emb_latency: float
+    dense_latency: float
+    finish_time: float
+    emb_result: Optional[EmbStageResult] = None
+
+
+@dataclass
+class PipelineResult:
+    records: List[PipelineBatchRecord]
+    total_time: float
+    warmup: int
+
+    @property
+    def steady_state_latency(self) -> float:
+        """Mean inter-completion interval after warmup (per-batch latency)."""
+        steady = self.records[self.warmup :]
+        if len(steady) < 2:
+            return self.records[-1].finish_time / max(1, len(self.records))
+        first, last = steady[0], steady[-1]
+        return (last.finish_time - first.finish_time) / (len(steady) - 1)
+
+    @property
+    def mean_emb_latency(self) -> float:
+        acc = Accumulator()
+        acc.extend(r.emb_latency for r in self.records[self.warmup :])
+        return acc.mean
+
+    @property
+    def mean_dense_latency(self) -> float:
+        acc = Accumulator()
+        acc.extend(r.dense_latency for r in self.records[self.warmup :])
+        return acc.mean
+
+
+class InferencePipeline:
+    """Overlaps the embedding stage of batch i+1 with dense compute of i."""
+
+    def __init__(
+        self,
+        stage: EmbeddingStage,
+        dense_time_fn: DenseTimeFn,
+        pipelined: bool = True,
+    ):
+        self.stage = stage
+        self.dense_time_fn = dense_time_fn
+        self.pipelined = pipelined
+        self.sim = stage.sim
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        batches: Sequence[Dict[str, Sequence[np.ndarray]]],
+        warmup: int = 1,
+        keep_results: bool = False,
+    ) -> PipelineResult:
+        if not batches:
+            raise ValueError("need at least one batch")
+        records: List[PipelineBatchRecord] = []
+        state = {
+            "next_batch": 0,
+            "dense_busy_until": 0.0,
+            "done": 0,
+        }
+        sim = self.sim
+        n = len(batches)
+        t0 = sim.now
+
+        def launch_next() -> None:
+            i = state["next_batch"]
+            if i >= n:
+                return
+            state["next_batch"] += 1
+            self.stage.start(batches[i], lambda res, _i=i: emb_done(_i, res))
+
+        def emb_done(i: int, res: EmbStageResult) -> None:
+            dense_time = self.dense_time_fn(i, res)
+            # Dense compute starts when the NN workers free up (serialized);
+            # the next batch's embedding fetch can begin immediately.
+            dense_start = max(sim.now, state["dense_busy_until"])
+            finish = dense_start + dense_time
+            state["dense_busy_until"] = finish
+
+            def complete() -> None:
+                records.append(
+                    PipelineBatchRecord(
+                        index=i,
+                        emb_latency=res.latency,
+                        dense_latency=dense_time,
+                        finish_time=sim.now - t0,
+                        emb_result=res if keep_results else None,
+                    )
+                )
+                state["done"] += 1
+                if not self.pipelined:
+                    launch_next()
+
+            sim.schedule_at(finish, complete)
+            if self.pipelined:
+                launch_next()
+
+        launch_next()
+        sim.run_until(lambda: state["done"] == n)
+        records.sort(key=lambda r: r.index)
+        return PipelineResult(
+            records=records, total_time=sim.now - t0, warmup=min(warmup, n - 1)
+        )

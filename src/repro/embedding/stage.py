@@ -1,0 +1,98 @@
+"""Multi-table embedding stage.
+
+End-to-end models look up many tables per batch; the paper overlaps the
+per-table SLS operations using a pool of SLS workers matched to the
+driver's IO queues.  The stage issues all table operations concurrently
+(the simulated driver/device provide the real contention) and completes
+when the last table finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..sim.stats import Breakdown
+from .backends.base import SlsBackend, SlsOpResult
+
+__all__ = ["EmbStageResult", "EmbeddingStage"]
+
+
+@dataclass
+class EmbStageResult:
+    values: Dict[str, np.ndarray]
+    per_table: Dict[str, SlsOpResult]
+    start_time: float
+    end_time: float
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.start_time
+
+    def stat_total(self, key: str) -> float:
+        return sum(r.stats.get(key, 0.0) for r in self.per_table.values())
+
+
+class EmbeddingStage:
+    """Runs one batch of lookups across all tables of a model."""
+
+    def __init__(self, backends: Dict[str, SlsBackend]):
+        if not backends:
+            raise ValueError("need at least one table backend")
+        self.backends = dict(backends)
+        sims = {id(b.system.sim) for b in self.backends.values()}
+        if len(sims) != 1:
+            raise ValueError("all backends must share one simulator")
+        self.sim = next(iter(self.backends.values())).system.sim
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        bags_by_table: Dict[str, Sequence[np.ndarray]],
+        on_done: Callable[[EmbStageResult], None],
+    ) -> None:
+        unknown = set(bags_by_table) - set(self.backends)
+        if unknown:
+            raise KeyError(f"no backend for tables {sorted(unknown)}")
+        start = self.sim.now
+        names = list(bags_by_table.keys())
+        results: Dict[str, SlsOpResult] = {}
+
+        def table_done(name: str, result: SlsOpResult) -> None:
+            results[name] = result
+            if len(results) == len(names):
+                breakdown = Breakdown()
+                for r in results.values():
+                    breakdown.merge(r.breakdown)
+                on_done(
+                    EmbStageResult(
+                        values={n: results[n].values for n in names},
+                        per_table=results,
+                        start_time=start,
+                        end_time=self.sim.now,
+                        breakdown=breakdown,
+                    )
+                )
+
+        if not names:
+            self.sim.call_soon(
+                lambda: on_done(
+                    EmbStageResult({}, {}, start, self.sim.now, Breakdown())
+                )
+            )
+            return
+        for name in names:
+            backend = self.backends[name]
+            backend.start(
+                bags_by_table[name],
+                lambda result, _n=name: table_done(_n, result),
+            )
+
+    def run_sync(self, bags_by_table: Dict[str, Sequence[np.ndarray]]) -> EmbStageResult:
+        box: List[EmbStageResult] = []
+        self.start(bags_by_table, box.append)
+        self.sim.run_until(lambda: bool(box))
+        return box[0]

@@ -1,0 +1,221 @@
+"""Embedding tables: data + flash placement + reference SLS.
+
+``EmbeddingTable.attach`` places the table in an aligned LBA region of a
+simulated SSD and preloads its image as a virtual flash region.  The
+same object provides the canonical in-DRAM reference result
+(`ref_sls`), so every storage backend can be verified bit-for-bit
+(modulo float accumulation order) against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import SlsConfig, build_pairs
+from ..quant import decode_vectors, encode_vectors
+from ..ssd.device import SsdDevice
+from .data import TableData, VirtualTableData
+from .spec import Layout, TableSpec
+
+__all__ = ["TablePageContent", "TableRegion", "EmbeddingTable"]
+
+
+class TablePageContent:
+    """Virtual content of one flash page of a table."""
+
+    __slots__ = ("table", "page_index")
+
+    def __init__(self, table: "EmbeddingTable", page_index: int):
+        self.table = table
+        self.page_index = page_index
+
+    def vectors(self, slots: np.ndarray) -> np.ndarray:
+        """Canonical float32 vectors for in-page ``slots``."""
+        slots = np.asarray(slots, dtype=np.int64)
+        rpp = self.table.rows_per_page
+        rows = self.page_index * rpp + slots
+        out = np.zeros((slots.size, self.table.spec.dim), dtype=np.float32)
+        in_range = rows < self.table.spec.rows
+        if np.any(in_range):
+            out[in_range] = self.table.get_rows(rows[in_range])
+        return out
+
+    def materialize(self) -> np.ndarray:
+        """Encode the page's rows into a page-sized uint8 buffer."""
+        spec = self.table.spec
+        page_bytes = self.table.page_bytes
+        buf = np.zeros(page_bytes, dtype=np.uint8)
+        rpp = self.table.rows_per_page
+        first = self.page_index * rpp
+        count = min(rpp, spec.rows - first)
+        if count > 0:
+            raw = self.table.data.get_rows(np.arange(first, first + count))
+            stored = encode_vectors(raw, spec.quant)
+            encoded = stored.view(np.uint8).reshape(count, spec.row_bytes)
+            rows_view = buf[: rpp * spec.row_bytes].reshape(rpp, spec.row_bytes)
+            rows_view[:count] = encoded
+        return buf
+
+
+class TableRegion:
+    """Flash-store region adapter covering the whole table."""
+
+    def __init__(self, table: "EmbeddingTable"):
+        self.table = table
+        self.page_count = table.spec.table_pages(table.page_bytes)
+
+    def page_content(self, offset: int) -> Optional[TablePageContent]:
+        if not 0 <= offset < self.page_count:
+            return None
+        return TablePageContent(self.table, offset)
+
+
+class EmbeddingTable:
+    """A table spec + data source, optionally attached to an SSD."""
+
+    def __init__(
+        self,
+        spec: TableSpec,
+        data: Optional[TableData] = None,
+        seed: int = 0,
+    ):
+        self.spec = spec
+        self.data = data or VirtualTableData(spec.rows, spec.dim, seed=seed)
+        if (self.data.rows, self.data.dim) != (spec.rows, spec.dim):
+            raise ValueError("data shape does not match spec")
+        self.device: Optional[SsdDevice] = None
+        self.base_lba: Optional[int] = None
+        self._page_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def attach(self, device: SsdDevice) -> None:
+        """Place and preload this table on ``device``."""
+        if self.device is not None:
+            raise RuntimeError(f"table {self.spec.name} already attached")
+        self.device = device
+        self._page_bytes = device.ftl.page_bytes
+        n_pages = self.spec.table_pages(self._page_bytes)
+        self.base_lba = device.allocate_table_region(n_pages)
+        base_lpn = self.base_lba // device.ftl.lbas_per_page
+        device.ftl.preload_region(base_lpn, TableRegion(self))
+
+    def attach_via_io(self, system) -> None:
+        """Place the table and load it through the conventional write path.
+
+        Unlike :meth:`attach` (which installs a zero-time virtual image),
+        this writes every page's real encoded bytes through the driver,
+        NVMe controller, FTL and flash — the way an actual deployment
+        would load a table.  Intended for small tables and tests; the
+        simulated time cost is real.
+        """
+        if self.device is not None:
+            raise RuntimeError(f"table {self.spec.name} already attached")
+        device = system.device
+        self.device = device
+        self._page_bytes = device.ftl.page_bytes
+        n_pages = self.spec.table_pages(self._page_bytes)
+        self.base_lba = device.allocate_table_region(n_pages)
+        driver = system.driver_for(device)
+        lbas_per_page = device.ftl.lbas_per_page
+        pending = {"n": n_pages}
+        for page_index in range(n_pages):
+            buf = TablePageContent(self, page_index).materialize()
+            slba = self.base_lba + page_index * lbas_per_page
+
+            def on_done(cpl) -> None:
+                if not cpl.ok:
+                    raise RuntimeError(f"table load write failed: {cpl.status}")
+                pending["n"] -= 1
+
+            driver.write(slba, lbas_per_page, buf, on_done)
+        system.sim.run_until(lambda: pending["n"] == 0)
+
+    @property
+    def attached(self) -> bool:
+        return self.device is not None
+
+    @property
+    def page_bytes(self) -> int:
+        if self._page_bytes is None:
+            raise RuntimeError("table not attached to a device")
+        return self._page_bytes
+
+    @property
+    def rows_per_page(self) -> int:
+        return self.spec.rows_per_page(self.page_bytes)
+
+    @property
+    def lba_bytes(self) -> int:
+        return self.device.ftl.config.lba_bytes
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def row_location(self, row: int) -> tuple[int, int]:
+        """(page_index, slot) of a row under this table's layout."""
+        rpp = self.rows_per_page
+        return row // rpp, row % rpp
+
+    def lba_span_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Per-row ``(first_lba, nlb)`` covering each row's bytes."""
+        rows = np.asarray(rows, dtype=np.int64)
+        rpp = self.rows_per_page
+        page_idx = rows // rpp
+        slot = rows % rpp
+        byte_start = (
+            self.base_lba * self.lba_bytes
+            + page_idx * self.page_bytes
+            + slot * self.spec.row_bytes
+        )
+        byte_end = byte_start + self.spec.row_bytes - 1
+        first = byte_start // self.lba_bytes
+        last = byte_end // self.lba_bytes
+        return np.stack([first, last - first + 1], axis=1)
+
+    # ------------------------------------------------------------------
+    # Data access (canonical values = quantization round trip)
+    # ------------------------------------------------------------------
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        raw = self.data.get_rows(ids)
+        return decode_vectors(encode_vectors(raw, self.spec.quant), self.spec.quant)
+
+    def ref_sls(self, bags: Sequence[np.ndarray]) -> np.ndarray:
+        """In-DRAM reference SparseLengthsSum over per-result bags."""
+        out = np.zeros((len(bags), self.spec.dim), dtype=np.float32)
+        for i, bag in enumerate(bags):
+            bag = np.asarray(bag, dtype=np.int64).reshape(-1)
+            if bag.size:
+                out[i] = self.get_rows(bag).sum(axis=0, dtype=np.float32)
+        return out
+
+    # ------------------------------------------------------------------
+    # NDP config construction
+    # ------------------------------------------------------------------
+    def make_sls_config(self, bags: Sequence[np.ndarray]) -> SlsConfig:
+        if not self.attached:
+            raise RuntimeError("table must be attached before issuing SLS")
+        pairs = build_pairs([np.asarray(b) for b in bags])
+        return SlsConfig(
+            table_base_lba=self.base_lba,
+            request_id=0,  # assigned by the driver session
+            pairs=pairs,
+            num_results=len(bags),
+            vec_dim=self.spec.dim,
+            quant=self.spec.quant,
+            rows_per_page=self.rows_per_page,
+            table_rows=self.spec.rows,
+        )
+
+    @property
+    def total_lookups_hint(self) -> int:
+        return self.spec.rows
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingTable({self.spec.name}, rows={self.spec.rows}, "
+            f"dim={self.spec.dim}, layout={self.spec.layout.value})"
+        )

@@ -1,0 +1,5 @@
+"""Per-table/figure experiment runners (see DESIGN.md's experiment index)."""
+
+from .common import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

@@ -1,0 +1,101 @@
+"""Experiment scaffolding: results, text tables, locality samplers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.base import IndexSampler, RecModel
+from ..traces.locality import LocalityTraceGenerator
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "locality_samplers",
+    "speedup",
+]
+
+
+@dataclass
+class ExperimentResult:
+    experiment: str
+    title: str
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        header = f"== {self.experiment}: {self.title} =="
+        body = render_table(self.rows)
+        notes = "".join(f"\nnote: {n}" for n in self.notes)
+        return f"{header}\n{body}{notes}"
+
+    def column(self, key: str) -> List[object]:
+        return [row[key] for row in self.rows]
+
+    def filter(self, **conditions) -> List[Dict[str, object]]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in conditions.items()):
+                out.append(row)
+        return out
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Plain-text aligned table over the union of row keys."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row_cells in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def locality_samplers(
+    model: RecModel,
+    k: float,
+    seed: int = 0,
+    universe: Optional[int] = 8192,
+) -> tuple[Dict[str, IndexSampler], Dict[str, LocalityTraceGenerator]]:
+    """Per-table locality-trace samplers for a model (Fig 10 inputs)."""
+    generators: Dict[str, LocalityTraceGenerator] = {}
+    samplers: Dict[str, IndexSampler] = {}
+    for i, feature in enumerate(model.features):
+        gen = LocalityTraceGenerator(
+            table_rows=feature.spec.rows,
+            k=k,
+            seed=seed + 31 * i,
+            universe=min(universe, feature.spec.rows) if universe else None,
+        )
+        generators[feature.name] = gen
+        samplers[feature.name] = gen.generate
+    return samplers, generators
+
+
+def speedup(baseline_s: float, candidate_s: float) -> float:
+    if candidate_s <= 0:
+        return float("inf")
+    return baseline_s / candidate_s

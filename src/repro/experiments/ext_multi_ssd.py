@@ -1,0 +1,97 @@
+"""Extension: multi-SSD scale-out (the paper's stated future direction).
+
+The prototype "limits us to single-model single-SSD systems" (Section 5).
+This extension shards a model's embedding tables across N simulated
+RecSSDs attached to one host and measures the embedding-stage latency as
+devices are added.  Each device contributes its own FTL CPU and flash
+channels, so NDP throughput scales with device count until the host-side
+costs dominate — quantifying how far the single-SSD limitation matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..embedding.backends import NdpSlsBackend, SsdSlsBackend
+from ..embedding.spec import Layout, TableSpec
+from ..embedding.stage import EmbeddingStage
+from ..embedding.table import EmbeddingTable
+from ..host.system import System
+from ..ssd.presets import cosmos_plus_config
+from .common import ExperimentResult, speedup
+
+__all__ = ["run"]
+
+NUM_TABLES = 8
+TABLE_ROWS = 1 << 16
+DIM = 32
+LOOKUPS = 40
+BATCH = 32
+
+
+def _build_sharded(n_devices: int, kind: str) -> tuple[System, EmbeddingStage]:
+    per_device_pages = (NUM_TABLES // n_devices + 1) * TABLE_ROWS + (1 << 16)
+    system = System(cosmos_plus_config(min_capacity_pages=per_device_pages))
+    for _ in range(n_devices - 1):
+        system.add_device(cosmos_plus_config(min_capacity_pages=per_device_pages))
+    backends = {}
+    for i in range(NUM_TABLES):
+        table = EmbeddingTable(
+            TableSpec(f"shard{i}", rows=TABLE_ROWS, dim=DIM, layout=Layout.ONE_PER_PAGE),
+            seed=100 + i,
+        )
+        table.attach(system.devices[i % n_devices])
+        if kind == "ndp":
+            backends[table.spec.name] = NdpSlsBackend(system, table)
+        else:
+            backends[table.spec.name] = SsdSlsBackend(system, table)
+    return system, EmbeddingStage(backends)
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    device_counts = (1, 2, 4) if fast else (1, 2, 4, 8)
+    rng = np.random.default_rng(seed)
+    bags: Dict[str, List[np.ndarray]] = {
+        f"shard{i}": [rng.integers(0, TABLE_ROWS, size=LOOKUPS) for _ in range(BATCH)]
+        for i in range(NUM_TABLES)
+    }
+    reference = None
+    rows = []
+    for n_devices in device_counts:
+        results = {}
+        for kind in ("ssd", "ndp"):
+            system, stage = _build_sharded(n_devices, kind)
+            results[kind] = stage.run_sync(bags)
+        values = results["ndp"].values
+        if reference is None:
+            reference = values
+        else:
+            for name in reference:
+                if not np.allclose(values[name], reference[name], rtol=1e-4, atol=1e-5):
+                    raise AssertionError("multi-SSD sharding changed results")
+        rows.append(
+            {
+                "devices": n_devices,
+                "base_ms": results["ssd"].latency * 1e3,
+                "ndp_ms": results["ndp"].latency * 1e3,
+                "ndp_speedup": speedup(
+                    results["ssd"].latency, results["ndp"].latency
+                ),
+            }
+        )
+    return ExperimentResult(
+        "ext_multi_ssd",
+        f"Embedding stage latency sharding {NUM_TABLES} tables over N RecSSDs",
+        rows,
+        notes=["extension beyond the paper (its prototype is single-SSD)"],
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(fast=True).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

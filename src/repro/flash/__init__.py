@@ -1,0 +1,20 @@
+"""NAND flash substrate: geometry, timing, page store, channel/array DES."""
+
+from .array import FlashArray, FlashChannel
+from .geometry import FlashGeometry, PhysAddr
+from .store import FlashStore, FlashStoreError
+from .reliability import ReadRetryModel, ReliabilityConfig, UncorrectableError
+from .timing import FlashTiming
+
+__all__ = [
+    "FlashArray",
+    "FlashChannel",
+    "FlashGeometry",
+    "PhysAddr",
+    "FlashStore",
+    "FlashStoreError",
+    "FlashTiming",
+    "ReadRetryModel",
+    "ReliabilityConfig",
+    "UncorrectableError",
+]

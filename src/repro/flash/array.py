@@ -1,0 +1,179 @@
+"""Flash channel and array simulation.
+
+Each channel owns one bus (:class:`~repro.sim.resources.Server`) shared by
+``ways`` dies.  Reads occupy the die for tR then the bus for the page
+transfer; programs occupy the bus first (data in) then the die for tPROG;
+erases occupy the die only.  With >=2 ways per channel, sustained read
+throughput is bus-bound at ``page_bytes / channel_bw`` per page — the 10K
+IOPS/channel figure from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..sim.kernel import SimError, Simulator
+from ..sim.resources import Server
+from ..sim.stats import Accumulator
+from .geometry import FlashGeometry, PhysAddr
+from .store import FlashStore
+from .timing import FlashTiming
+
+__all__ = ["FlashChannel", "FlashArray"]
+
+ReadCallback = Callable[[Any], None]
+DoneCallback = Callable[[], None]
+
+
+class FlashChannel:
+    """One channel: a shared bus and ``ways`` independent dies."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel_id: int,
+        ways: int,
+        timing: FlashTiming,
+        page_bytes: int,
+    ):
+        self.sim = sim
+        self.channel_id = channel_id
+        self.timing = timing
+        self.page_bytes = page_bytes
+        self.bus = Server(sim, capacity=1, name=f"ch{channel_id}.bus")
+        self.dies = [
+            Server(sim, capacity=1, name=f"ch{channel_id}.die{w}") for w in range(ways)
+        ]
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    # ------------------------------------------------------------------
+    def read_page(self, way: int, on_done: DoneCallback, retries: int = 0) -> None:
+        """Simulate a page read on ``way`` (timing only; data handled above).
+
+        ``retries`` extra read-retry attempts each cost another command +
+        tR on the die before the data transfer.
+        """
+        self.reads += 1
+        die = self.dies[way]
+        xfer = self.timing.t_cmd_s + self.timing.transfer_time(self.page_bytes)
+        attempts = 1 + max(0, retries)
+        die.submit(
+            attempts * (self.timing.t_cmd_s + self.timing.t_read_s),
+            lambda: self.bus.submit(xfer, on_done),
+        )
+
+    def program_page(self, way: int, on_done: DoneCallback) -> None:
+        self.programs += 1
+        die = self.dies[way]
+        xfer = self.timing.t_cmd_s + self.timing.transfer_time(self.page_bytes)
+        self.bus.submit(xfer, lambda: die.submit(self.timing.t_program_s, on_done))
+
+    def erase_block(self, way: int, on_done: DoneCallback) -> None:
+        self.erases += 1
+        self.dies[way].submit(self.timing.t_cmd_s + self.timing.t_erase_s, on_done)
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self.bus.idle and all(d.idle for d in self.dies)
+
+    @property
+    def inflight(self) -> int:
+        busy = self.bus.busy + self.bus.queue_length
+        for die in self.dies:
+            busy += die.busy + die.queue_length
+        return busy
+
+
+class FlashArray:
+    """The full NAND array: geometry + store + per-channel simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: Optional[FlashGeometry] = None,
+        timing: Optional[FlashTiming] = None,
+        reliability: Optional["ReliabilityConfig"] = None,
+    ):
+        from .reliability import ReadRetryModel, ReliabilityConfig
+
+        self.sim = sim
+        self.geometry = geometry or FlashGeometry()
+        self.timing = timing or FlashTiming()
+        self.store = FlashStore(self.geometry)
+        self.reliability = ReadRetryModel(reliability or ReliabilityConfig())
+        self.channels: List[FlashChannel] = [
+            FlashChannel(sim, c, self.geometry.ways, self.timing, self.geometry.page_bytes)
+            for c in range(self.geometry.channels)
+        ]
+        self.read_latency = Accumulator()
+        self.uncorrectable_reads = 0
+
+    # ------------------------------------------------------------------
+    def read(self, ppn: int, on_done: ReadCallback) -> None:
+        """Read page ``ppn``; ``on_done(content)`` fires when data is on-chip.
+
+        Uncorrectable reads (reliability model) deliver ``None`` after the
+        full retry sequence, as a real drive would report a media error.
+        """
+        from .reliability import UncorrectableError
+
+        addr = self.geometry.addr(ppn)
+        start = self.sim.now
+        store = self.store
+        try:
+            retries = self.reliability.retries_for_read()
+            failed = False
+        except UncorrectableError:
+            retries = self.reliability.config.max_read_retries
+            failed = True
+            self.uncorrectable_reads += 1
+
+        def finish() -> None:
+            self.read_latency.add(self.sim.now - start)
+            on_done(None if failed else store.read(ppn))
+
+        self.channels[addr.channel].read_page(addr.way, finish, retries=retries)
+
+    def program(self, ppn: int, content: Any, on_done: DoneCallback) -> None:
+        """Program ``content`` into page ``ppn`` (store updated at completion)."""
+        addr = self.geometry.addr(ppn)
+
+        def finish() -> None:
+            self.store.program(ppn, content)
+            on_done()
+
+        self.channels[addr.channel].program_page(addr.way, finish)
+
+    def erase(self, block_id: int, on_done: DoneCallback) -> None:
+        channel, way, _block = self.geometry.block_addr(block_id)
+
+        def finish() -> None:
+            self.store.erase_block(block_id)
+            on_done()
+
+        self.channels[channel].erase_block(way, finish)
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return all(ch.idle for ch in self.channels)
+
+    @property
+    def inflight(self) -> int:
+        return sum(ch.inflight for ch in self.channels)
+
+    def total_reads(self) -> int:
+        return sum(ch.reads for ch in self.channels)
+
+    def total_programs(self) -> int:
+        return sum(ch.programs for ch in self.channels)
+
+    def total_erases(self) -> int:
+        return sum(ch.erases for ch in self.channels)
+
+    def channel_load(self) -> List[int]:
+        """Reads issued per channel (load-balance diagnostics)."""
+        return [ch.reads for ch in self.channels]

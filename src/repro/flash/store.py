@@ -1,0 +1,143 @@
+"""Sparse physical page store.
+
+Keeps the *content* of programmed flash pages.  Content is opaque to the
+flash layer (the embedding layer stores lightweight virtual references for
+preloaded tables; the write path stores real byte buffers).  The store
+enforces NAND semantics: a page must be erased before it can be programmed
+again, and pages are programmed sequentially within a block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .geometry import FlashGeometry
+
+__all__ = ["FlashStore", "FlashStoreError"]
+
+
+class FlashStoreError(RuntimeError):
+    """Violation of NAND program/erase semantics."""
+
+
+class FlashStore:
+    """Tracks programmed page content and per-block program state."""
+
+    def __init__(self, geometry: FlashGeometry, enforce_sequential: bool = True):
+        self.geometry = geometry
+        self.enforce_sequential = enforce_sequential
+        self._content: Dict[int, Any] = {}
+        # Virtual regions installed by the preload fast path: one entry per
+        # block, mapping to (region, first_region_offset).  Regions provide
+        # page content on demand so multi-GB tables need no per-page entries.
+        self._regions: Dict[int, tuple[Any, int]] = {}
+        # Next programmable page offset within each block (NAND requires
+        # in-order programming); block id -> next page index.
+        self._write_point: Dict[int, int] = {}
+        self.program_count = 0
+        self.erase_count = 0
+
+    # ------------------------------------------------------------------
+    def program(self, ppn: int, content: Any) -> None:
+        addr = self.geometry.addr(ppn)
+        block_id = self.geometry.block_id(addr.channel, addr.way, addr.block)
+        if self.is_programmed(ppn):
+            raise FlashStoreError(f"program to non-erased page ppn={ppn}")
+        if self.enforce_sequential:
+            expected = self._write_point.get(block_id, 0)
+            if addr.page != expected:
+                raise FlashStoreError(
+                    f"out-of-order program in block {block_id}: page {addr.page}, "
+                    f"expected {expected}"
+                )
+        self._write_point[block_id] = addr.page + 1
+        self._content[ppn] = content
+        self.program_count += 1
+
+    def read(self, ppn: int) -> Any:
+        """Return page content; reading an unwritten page returns None."""
+        content = self._content.get(ppn)
+        if content is not None:
+            return content
+        block_id = ppn // self.geometry.pages_per_block
+        region_entry = self._regions.get(block_id)
+        if region_entry is None:
+            return None
+        region, base, stride = region_entry
+        return region.page_content(base + (ppn % self.geometry.pages_per_block) * stride)
+
+    def is_programmed(self, ppn: int) -> bool:
+        if ppn in self._content:
+            return True
+        block_id = ppn // self.geometry.pages_per_block
+        region_entry = self._regions.get(block_id)
+        if region_entry is None:
+            return False
+        region, base, stride = region_entry
+        offset = base + (ppn % self.geometry.pages_per_block) * stride
+        return offset < region.page_count
+
+    def erase_block(self, block_id: int) -> int:
+        """Erase a block, dropping all its page content.  Returns pages dropped."""
+        first = self.geometry.first_ppn_of_block(block_id)
+        dropped = 0
+        for ppn in range(first, first + self.geometry.pages_per_block):
+            if self._content.pop(ppn, None) is not None:
+                dropped += 1
+        if self._regions.pop(block_id, None) is not None:
+            dropped += self.geometry.pages_per_block
+        self._write_point[block_id] = 0
+        self.erase_count += 1
+        return dropped
+
+    def block_write_point(self, block_id: int) -> int:
+        return self._write_point.get(block_id, 0)
+
+    @property
+    def programmed_pages(self) -> int:
+        return len(self._content) + len(self._regions) * self.geometry.pages_per_block
+
+    # ------------------------------------------------------------------
+    def install(self, ppn: int, content: Any) -> None:
+        """Directly install content, bypassing sequential-program checks.
+
+        Used by the preload fast path when installing a table image without
+        simulating millions of program operations.  Still refuses to clobber
+        live data.
+        """
+        if self.is_programmed(ppn):
+            raise FlashStoreError(f"install over programmed page ppn={ppn}")
+        addr = self.geometry.addr(ppn)
+        block_id = self.geometry.block_id(addr.channel, addr.way, addr.block)
+        self._write_point[block_id] = max(
+            self._write_point.get(block_id, 0), addr.page + 1
+        )
+        self._content[ppn] = content
+
+    def install_region(
+        self, block_id: int, region: Any, first_offset: int, stride: int = 1
+    ) -> None:
+        """Install a virtual region covering one whole block.
+
+        ``region.page_content(offset)`` supplies the content of the page at
+        ``first_offset + page_in_block * stride``; ``region.page_count``
+        bounds valid offsets.  The stride lets preloaded tables stripe
+        logical pages across dies exactly like the log-structured write
+        path would (consecutive logical pages on consecutive dies).
+        Regions back preloaded embedding tables, avoiding per-page
+        dictionary entries for multi-million-page tables.
+        """
+        if stride < 1:
+            raise FlashStoreError("stride must be >= 1")
+        if not 0 <= block_id < self.geometry.total_blocks:
+            raise FlashStoreError(f"block id {block_id} out of range")
+        if block_id in self._regions:
+            raise FlashStoreError(f"region already installed in block {block_id}")
+        first_ppn = self.geometry.first_ppn_of_block(block_id)
+        if self._write_point.get(block_id, 0) != 0 or any(
+            ppn in self._content
+            for ppn in range(first_ppn, first_ppn + self.geometry.pages_per_block)
+        ):
+            raise FlashStoreError(f"block {block_id} not erased")
+        self._regions[block_id] = (region, first_offset, stride)
+        self._write_point[block_id] = self.geometry.pages_per_block

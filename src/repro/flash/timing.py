@@ -1,0 +1,44 @@
+"""Flash timing model.
+
+Parameters follow the Cosmos+ OpenSSD prototype described in the paper:
+10K IOPS per channel at 16KB pages (one page per ~100us of channel time),
+8 channels for ~1.28GB/s aggregate ("just under 1.4GB/s"), single page
+access latencies in the 10s-100s of microseconds, and O(ms) programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import MB_S, us
+
+__all__ = ["FlashTiming"]
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Per-operation NAND and channel-bus timing."""
+
+    t_read_s: float = us(60.0)        # array read to die register (tR)
+    t_program_s: float = us(800.0)    # page program (tPROG)
+    t_erase_s: float = us(3000.0)     # block erase (tBERS)
+    channel_bw_bytes_s: float = MB_S(160.0)  # per-channel bus bandwidth
+    t_cmd_s: float = us(1.0)          # command/addr cycles per operation
+
+    def __post_init__(self) -> None:
+        if min(self.t_read_s, self.t_program_s, self.t_erase_s, self.t_cmd_s) < 0:
+            raise ValueError("timings must be non-negative")
+        if self.channel_bw_bytes_s <= 0:
+            raise ValueError("channel bandwidth must be positive")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Channel-bus occupancy for moving ``size_bytes`` to/from a die."""
+        return size_bytes / self.channel_bw_bytes_s
+
+    def read_service_time(self, page_bytes: int) -> float:
+        """Unloaded latency of a full page read (die + bus, no queueing)."""
+        return self.t_cmd_s + self.t_read_s + self.transfer_time(page_bytes)
+
+    def sustained_read_ios_per_channel(self, page_bytes: int) -> float:
+        """Pipelined page reads/s on one channel (bus-bound with >=2 ways)."""
+        return 1.0 / (self.t_cmd_s + self.transfer_time(page_bytes))

@@ -1,0 +1,132 @@
+"""Greedy garbage collection.
+
+When a die's free-block pool drops below the low watermark, the collector
+picks the closed block with the fewest valid pages, migrates the valid
+pages to fresh locations (paying flash reads/programs and FTL CPU time),
+erases the victim, and returns it to the free pool — repeating until the
+high watermark is restored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ftl import GreedyFtl
+
+__all__ = ["GarbageCollector"]
+
+
+class GarbageCollector:
+    def __init__(self, ftl: "GreedyFtl", low_watermark: int = 2, high_watermark: int = 4):
+        if low_watermark < 1 or high_watermark < low_watermark:
+            raise ValueError("watermarks must satisfy 1 <= low <= high")
+        self.ftl = ftl
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self._active = [False] * ftl.geometry.dies
+        self.runs = 0
+        self.pages_moved = 0
+        self.blocks_reclaimed = 0
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    def maybe_collect(self, die: int) -> None:
+        if self._active[die]:
+            return
+        if self.ftl.blocks.free_blocks_in_die(die) >= self.low_watermark:
+            return
+        self._active[die] = True
+        self.runs += 1
+        self._collect_step(die)
+
+    def _collect_step(self, die: int) -> None:
+        blocks = self.ftl.blocks
+        if blocks.free_blocks_in_die(die) >= self.high_watermark:
+            self._active[die] = False
+            return
+        candidates = [
+            b
+            for b in self._closed_blocks_in_die(die)
+            if b not in self.ftl.migrating_blocks and self.ftl.block_erasable(b)
+        ]
+        if not candidates:
+            self._active[die] = False
+            self.stalls += 1
+            return
+        victim = self.ftl.mapping.min_valid_block(candidates)
+        if self.ftl.mapping.valid_pages_in_block(victim) >= self.ftl.geometry.pages_per_block:
+            # Device is effectively full; collecting gains nothing.
+            self._active[die] = False
+            self.stalls += 1
+            return
+        self._migrate_block(die, victim)
+
+    def _closed_blocks_in_die(self, die: int) -> List[int]:
+        per_die = self.ftl.geometry.blocks_per_die
+        lo, hi = die * per_die, (die + 1) * per_die
+        return [b for b in self.ftl.blocks.closed_blocks() if lo <= b < hi]
+
+    # ------------------------------------------------------------------
+    def _migrate_block(self, die: int, victim: int) -> None:
+        self.ftl.migrating_blocks.add(victim)
+        lpns = self.ftl.mapping.valid_lpns_in_block(victim)
+        remaining = len(lpns)
+        if remaining == 0:
+            self._erase_victim(die, victim)
+            return
+
+        def move_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self._erase_victim(die, victim)
+
+        for lpn in lpns:
+            self._move_page(die, lpn, move_done)
+
+    def _move_page(self, die: int, lpn: int, on_done) -> None:
+        ftl = self.ftl
+        old_ppn = ftl.mapping.lookup(lpn)
+
+        def after_read(content) -> None:
+            ftl.cpu.ftl_core.submit(
+                ftl.cpu.costs.gc_page_move_s, lambda: after_cpu(content), priority=2
+            )
+
+        def after_cpu(content) -> None:
+            from .blocks import OutOfSpaceError
+
+            try:
+                new_ppn = ftl.blocks.allocate_page(die)
+            except OutOfSpaceError:
+                # The die's reserve was consumed mid-migration (e.g. a
+                # victim with more valid pages than one block's remnant);
+                # migrate cross-die rather than wedging the collector.
+                new_ppn = ftl.blocks.allocate_page()
+
+            def after_program() -> None:
+                # The lpn may have been overwritten by foreground traffic while
+                # the migration was in flight; only remap if it still points at
+                # the page we copied.
+                if ftl.mapping.lookup(lpn) == old_ppn:
+                    ftl.mapping.map(lpn, new_ppn)
+                self.pages_moved += 1
+                on_done()
+
+            ftl.program_page(new_ppn, content, after_program)
+
+        ftl.flash.read(old_ppn, after_read)
+
+    def _erase_victim(self, die: int, victim: int) -> None:
+        ftl = self.ftl
+
+        def after_erase() -> None:
+            ftl.migrating_blocks.discard(victim)
+            ftl.blocks.release_block(victim)
+            self.blocks_reclaimed += 1
+            ftl.wear_check()
+            ftl.notify_blocks_released()
+            self._collect_step(die)
+
+        ftl.flash.erase(victim, after_erase)

@@ -1,0 +1,152 @@
+"""Logical-to-physical page mapping with validity tracking.
+
+The FTL maps logical page numbers (LPNs) to physical page numbers (PPNs).
+A remap invalidates the previous physical page; per-block valid-page counts
+feed garbage-collection victim selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..flash.geometry import FlashGeometry
+
+__all__ = ["MappingTable", "UNMAPPED"]
+
+UNMAPPED = -1
+
+
+class MappingTable:
+    """Dense L2P / P2L arrays plus per-block valid-page counters."""
+
+    def __init__(self, geometry: FlashGeometry, logical_pages: int):
+        if logical_pages < 1:
+            raise ValueError("logical_pages must be >= 1")
+        if logical_pages > geometry.total_pages:
+            raise ValueError(
+                f"logical space ({logical_pages} pages) exceeds physical "
+                f"({geometry.total_pages} pages)"
+            )
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self._l2p = np.full(logical_pages, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self._valid_per_block = np.zeros(geometry.total_blocks, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    def lookup(self, lpn: int) -> int:
+        """Return PPN for ``lpn`` or ``UNMAPPED``."""
+        return int(self._l2p[lpn])
+
+    def reverse(self, ppn: int) -> int:
+        """Return LPN mapped to ``ppn`` or ``UNMAPPED``."""
+        return int(self._p2l[ppn])
+
+    def is_mapped(self, lpn: int) -> bool:
+        return self._l2p[lpn] != UNMAPPED
+
+    def map(self, lpn: int, ppn: int) -> int:
+        """Map ``lpn`` -> ``ppn``; returns the invalidated old PPN (or UNMAPPED)."""
+        if not 0 <= lpn < self.logical_pages:
+            raise IndexError(f"lpn {lpn} out of range")
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise IndexError(f"ppn {ppn} out of range")
+        if self._p2l[ppn] != UNMAPPED:
+            raise ValueError(f"ppn {ppn} already holds lpn {self._p2l[ppn]}")
+        old_ppn = int(self._l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self._invalidate_ppn(old_ppn)
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._valid_per_block[ppn // self.geometry.pages_per_block] += 1
+        return old_ppn
+
+    def unmap(self, lpn: int) -> int:
+        """Drop the mapping for ``lpn`` (trim); returns old PPN."""
+        old_ppn = int(self._l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self._invalidate_ppn(old_ppn)
+            self._l2p[lpn] = UNMAPPED
+        return old_ppn
+
+    def bulk_map(self, lpn_start: int, ppns: np.ndarray) -> None:
+        """Vectorized mapping of consecutive LPNs onto ``ppns`` (preload)."""
+        ppns = np.asarray(ppns, dtype=np.int64)
+        self.bulk_map_pairs(
+            np.arange(lpn_start, lpn_start + ppns.size, dtype=np.int64), ppns
+        )
+
+    def bulk_map_pairs(self, lpns: np.ndarray, ppns: np.ndarray) -> None:
+        """Vectorized mapping of fresh (lpn, ppn) pairs (preload fast path).
+
+        All target LPNs and PPNs must be unmapped; used when installing
+        table images where per-page :meth:`map` calls would dominate setup.
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        ppns = np.asarray(ppns, dtype=np.int64)
+        if lpns.size != ppns.size:
+            raise ValueError("lpns/ppns length mismatch")
+        if lpns.size == 0:
+            return
+        if lpns.min() < 0 or lpns.max() >= self.logical_pages:
+            raise IndexError("bulk_map lpn range out of bounds")
+        if ppns.min() < 0 or ppns.max() >= self.geometry.total_pages:
+            raise IndexError("bulk_map ppn out of bounds")
+        if np.any(self._l2p[lpns] != UNMAPPED):
+            raise ValueError("bulk_map target lpns already mapped")
+        if np.any(self._p2l[ppns] != UNMAPPED):
+            raise ValueError("bulk_map target ppns already mapped")
+        self._l2p[lpns] = ppns
+        self._p2l[ppns] = lpns
+        np.add.at(
+            self._valid_per_block,
+            ppns // self.geometry.pages_per_block,
+            1,
+        )
+
+    def _invalidate_ppn(self, ppn: int) -> None:
+        self._p2l[ppn] = UNMAPPED
+        block = ppn // self.geometry.pages_per_block
+        self._valid_per_block[block] -= 1
+        if self._valid_per_block[block] < 0:
+            raise AssertionError(f"valid count underflow in block {block}")
+
+    # ------------------------------------------------------------------
+    def valid_pages_in_block(self, block_id: int) -> int:
+        return int(self._valid_per_block[block_id])
+
+    def valid_lpns_in_block(self, block_id: int) -> list[int]:
+        first = self.geometry.first_ppn_of_block(block_id)
+        pages = self.geometry.pages_per_block
+        lpns = self._p2l[first : first + pages]
+        return [int(l) for l in lpns if l != UNMAPPED]
+
+    def min_valid_block(self, candidates: list[int]) -> int:
+        """Victim selection: candidate block with fewest valid pages."""
+        if not candidates:
+            raise ValueError("no candidate blocks")
+        best = candidates[0]
+        best_valid = self._valid_per_block[best]
+        for block_id in candidates[1:]:
+            valid = self._valid_per_block[block_id]
+            if valid < best_valid:
+                best, best_valid = block_id, valid
+        return int(best)
+
+    @property
+    def mapped_count(self) -> int:
+        return int(np.count_nonzero(self._l2p != UNMAPPED))
+
+    def check_consistency(self) -> None:
+        """Validate L2P/P2L inverse relationship and counters (test hook)."""
+        mapped = np.flatnonzero(self._l2p != UNMAPPED)
+        for lpn in mapped:
+            ppn = self._l2p[lpn]
+            if self._p2l[ppn] != lpn:
+                raise AssertionError(f"l2p/p2l mismatch at lpn={lpn} ppn={ppn}")
+        valid = np.flatnonzero(self._p2l != UNMAPPED)
+        counts = np.zeros_like(self._valid_per_block)
+        for ppn in valid:
+            counts[ppn // self.geometry.pages_per_block] += 1
+        if not np.array_equal(counts, self._valid_per_block):
+            raise AssertionError("per-block valid counts inconsistent")

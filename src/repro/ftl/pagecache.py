@@ -1,0 +1,100 @@
+"""SSD-internal DRAM page cache (read cache for flash pages).
+
+A fully associative LRU cache keyed by LPN, with pinning so pages stay
+resident while a DMA or translation step is reading them.  Capacity is in
+pages; the Cosmos+ board's DRAM is shared between this cache, the SLS
+request buffer, and the SSD-side embedding cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """LRU page cache with pin counts."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity_pages
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insert_failures = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, lpn: int) -> tuple[bool, Any]:
+        """Probe the cache; counts hit/miss and refreshes recency on hit."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False, None
+        if lpn in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(lpn)
+            return True, self._entries[lpn]
+        self.misses += 1
+        return False, None
+
+    def peek(self, lpn: int) -> tuple[bool, Any]:
+        """Probe without recency update or stat counting."""
+        if lpn in self._entries:
+            return True, self._entries[lpn]
+        return False, None
+
+    def insert(self, lpn: int, content: Any) -> None:
+        """Insert/refresh ``lpn``; evicts LRU unpinned entries as needed."""
+        if self.capacity == 0:
+            return
+        if lpn in self._entries:
+            self._entries.move_to_end(lpn)
+            self._entries[lpn] = content
+            return
+        while len(self._entries) >= self.capacity:
+            if not self._evict_one():
+                self.insert_failures += 1
+                return  # everything pinned; drop the insert
+        self._entries[lpn] = content
+
+    def _evict_one(self) -> bool:
+        for lpn in self._entries:
+            if self._pins.get(lpn, 0) == 0:
+                del self._entries[lpn]
+                self.evictions += 1
+                return True
+        return False
+
+    def invalidate(self, lpn: int) -> None:
+        self._entries.pop(lpn, None)
+
+    # ------------------------------------------------------------------
+    def pin(self, lpn: int) -> None:
+        self._pins[lpn] = self._pins.get(lpn, 0) + 1
+
+    def unpin(self, lpn: int) -> None:
+        count = self._pins.get(lpn, 0)
+        if count <= 1:
+            self._pins.pop(lpn, None)
+        else:
+            self._pins[lpn] = count - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insert_failures = 0

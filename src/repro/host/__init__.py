@@ -1,0 +1,6 @@
+"""Host-side models: CPU cost model and full-system assembly."""
+
+from .cpu import HostCpu, HostCpuConfig
+from .system import System, SystemConfig, build_system
+
+__all__ = ["HostCpu", "HostCpuConfig", "System", "SystemConfig", "build_system"]

@@ -1,0 +1,59 @@
+"""Recommendation model zoo and execution harness."""
+
+from .base import Batch, IndexSampler, RecModel, SparseFeature, uniform_sampler
+from .dien import DienConfig, DienModel
+from .din import DinConfig, DinModel
+from .dlrm import DlrmConfig, DlrmModel
+from .layers import AttentionUnit, GruLayer, Mlp, relu, sigmoid
+from .ncf import NcfConfig, NcfModel
+from .runner import (
+    BackendKind,
+    ModelRunner,
+    ModelRunResult,
+    RunnerConfig,
+    required_capacity_pages,
+)
+from .widedeep import MultiTaskWideDeepModel, WideDeepConfig, WideDeepModel
+from .zoo import (
+    EMBEDDING_DOMINATED,
+    MLP_DOMINATED,
+    MODEL_NAMES,
+    TableOneRow,
+    build_model,
+    table_one,
+)
+
+__all__ = [
+    "Batch",
+    "IndexSampler",
+    "RecModel",
+    "SparseFeature",
+    "uniform_sampler",
+    "DienConfig",
+    "DienModel",
+    "DinConfig",
+    "DinModel",
+    "DlrmConfig",
+    "DlrmModel",
+    "AttentionUnit",
+    "GruLayer",
+    "Mlp",
+    "relu",
+    "sigmoid",
+    "NcfConfig",
+    "NcfModel",
+    "BackendKind",
+    "ModelRunner",
+    "ModelRunResult",
+    "RunnerConfig",
+    "required_capacity_pages",
+    "MultiTaskWideDeepModel",
+    "WideDeepConfig",
+    "WideDeepModel",
+    "EMBEDDING_DOMINATED",
+    "MLP_DOMINATED",
+    "MODEL_NAMES",
+    "TableOneRow",
+    "build_model",
+    "table_one",
+]

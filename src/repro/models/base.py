@@ -1,0 +1,137 @@
+"""Recommendation-model base: sparse features, batches, the model protocol."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..embedding.spec import TableSpec
+from ..embedding.table import EmbeddingTable
+from ..host.cpu import HostCpu
+
+__all__ = ["SparseFeature", "Batch", "RecModel", "IndexSampler", "uniform_sampler"]
+
+IndexSampler = Callable[[int], np.ndarray]  # n -> row ids
+
+
+@dataclass(frozen=True)
+class SparseFeature:
+    """One categorical feature backed by one embedding table.
+
+    ``lookups`` is the per-sample pooling factor ("indices per lookup" in
+    the paper's Table 1).  ``sequence=True`` keeps each looked-up vector
+    separate (bag size 1 per position) for attention/recurrent models.
+    """
+
+    spec: TableSpec
+    lookups: int
+    sequence: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def results_per_sample(self) -> int:
+        return self.lookups if self.sequence else 1
+
+
+@dataclass
+class Batch:
+    dense: np.ndarray                       # [B, dense_in] float32
+    bags: Dict[str, List[np.ndarray]]       # table name -> per-result bags
+    batch_size: int
+
+
+def uniform_sampler(rows: int, rng: np.random.Generator) -> IndexSampler:
+    return lambda n: rng.integers(0, rows, size=n, dtype=np.int64)
+
+
+class RecModel(ABC):
+    """A recommendation model: tables + dense tower(s) + cost model."""
+
+    def __init__(self, name: str, dense_in: int, features: Sequence[SparseFeature], seed: int = 0):
+        self.name = name
+        self.dense_in = dense_in
+        self.features = list(features)
+        names = [f.name for f in self.features]
+        if len(set(names)) != len(names):
+            raise ValueError("sparse feature names must be unique")
+        self.seed = seed
+        self.tables: Dict[str, EmbeddingTable] = {
+            f.name: EmbeddingTable(f.spec, seed=seed + i * 1009 + 1)
+            for i, f in enumerate(self.features)
+        }
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def sample_batch(
+        self,
+        rng: np.random.Generator,
+        batch_size: int,
+        samplers: Optional[Dict[str, IndexSampler]] = None,
+    ) -> Batch:
+        """Draw a batch; ``samplers`` overrides per-feature index sources."""
+        dense = rng.standard_normal((batch_size, self.dense_in)).astype(np.float32)
+        bags: Dict[str, List[np.ndarray]] = {}
+        for feature in self.features:
+            sampler = (samplers or {}).get(feature.name) or uniform_sampler(
+                feature.spec.rows, rng
+            )
+            rows = np.asarray(
+                sampler(batch_size * feature.lookups), dtype=np.int64
+            )
+            if feature.sequence:
+                bags[feature.name] = [rows[i : i + 1] for i in range(rows.size)]
+            else:
+                bags[feature.name] = [
+                    rows[i * feature.lookups : (i + 1) * feature.lookups]
+                    for i in range(batch_size)
+                ]
+        return Batch(dense=dense, bags=bags, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Embedding-output reshaping
+    # ------------------------------------------------------------------
+    def feature_values(
+        self, feature: SparseFeature, emb_values: Dict[str, np.ndarray], batch_size: int
+    ) -> np.ndarray:
+        """[B, dim] for pooled features, [B, L, dim] for sequences."""
+        values = emb_values[feature.name]
+        if feature.sequence:
+            return values.reshape(batch_size, feature.lookups, feature.spec.dim)
+        return values
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def forward(
+        self, dense: np.ndarray, emb_values: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Numeric scores [B] from dense inputs + per-table SLS outputs."""
+
+    @abstractmethod
+    def dense_time(self, batch_size: int, cpu: HostCpu) -> float:
+        """Analytic latency of all non-embedding operators for one batch."""
+
+    # ------------------------------------------------------------------
+    def lookups_per_sample(self) -> int:
+        return sum(f.lookups for f in self.features)
+
+    def table_count(self) -> int:
+        return len(self.features)
+
+    def reference_emb(self, batch: Batch) -> Dict[str, np.ndarray]:
+        """In-DRAM reference SLS values for every feature (test hook)."""
+        return {
+            f.name: self.tables[f.name].ref_sls(batch.bags[f.name])
+            for f in self.features
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name}, tables={self.table_count()}, "
+            f"lookups/sample={self.lookups_per_sample()})"
+        )

@@ -1,0 +1,186 @@
+"""Model execution: wires a model's tables to storage backends and runs
+batches through the serial or pipelined inference loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..embedding.backends import DramSlsBackend, NdpSlsBackend, SsdSlsBackend
+from ..embedding.caches import SetAssociativeLru, StaticPartitionCache
+from ..embedding.pipeline import InferencePipeline, PipelineResult
+from ..embedding.stage import EmbeddingStage, EmbStageResult
+from ..host.system import System, build_system
+from .base import Batch, RecModel
+
+__all__ = ["BackendKind", "RunnerConfig", "ModelRunResult", "ModelRunner"]
+
+
+class BackendKind(str, Enum):
+    DRAM = "dram"
+    SSD = "ssd"
+    NDP = "ndp"
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    kind: BackendKind
+    host_cache_entries: int = 0     # baseline per-table LRU (16-way)
+    partition_entries: int = 0      # NDP per-table static partition
+    coalesce: bool = False
+    compute_outputs: bool = True
+    pipelined: bool = True
+    warmup_batches: int = 1
+    # Pre-fill the SSD page cache with small packed tables, modelling the
+    # steady state the paper measures ("average latency results across many
+    # batches") without simulating dozens of warm-up batches.
+    prewarm_page_cache: bool = False
+
+
+@dataclass
+class ModelRunResult:
+    pipeline: PipelineResult
+    outputs: List[np.ndarray]
+    emb_results: List[EmbStageResult]
+
+    @property
+    def steady_latency(self) -> float:
+        return self.pipeline.steady_state_latency
+
+    @property
+    def mean_emb_latency(self) -> float:
+        return self.pipeline.mean_emb_latency
+
+    @property
+    def mean_dense_latency(self) -> float:
+        return self.pipeline.mean_dense_latency
+
+    def stat_total(self, key: str) -> float:
+        return sum(r.stat_total(key) for r in self.emb_results)
+
+
+def required_capacity_pages(model: RecModel, page_bytes: int = 16 * 1024) -> int:
+    total = sum(f.spec.table_pages(page_bytes) for f in model.features)
+    # Alignment padding (one slot minimum per table) plus free-space slack.
+    return int(total * 1.3) + 64 * 1024
+
+
+class ModelRunner:
+    def __init__(
+        self,
+        model: RecModel,
+        config: RunnerConfig,
+        system: Optional[System] = None,
+        partition_profiles: Optional[Dict[str, List[np.ndarray]]] = None,
+        page_cache_pages: int = 16 * 1024,
+        ndp_engine_config=None,
+    ):
+        self.model = model
+        self.config = config
+        if system is None:
+            system = build_system(
+                min_capacity_pages=required_capacity_pages(model),
+                page_cache_pages=page_cache_pages,
+                ndp=ndp_engine_config,
+            )
+        self.system = system
+        self.host_caches: Dict[str, SetAssociativeLru] = {}
+        self.partitions: Dict[str, StaticPartitionCache] = {}
+        backends = {}
+        for feature in model.features:
+            table = model.tables[feature.name]
+            if config.kind is BackendKind.DRAM:
+                backends[feature.name] = DramSlsBackend(system, table)
+                continue
+            if not table.attached:
+                table.attach(system.device)
+            if config.kind is BackendKind.SSD:
+                cache = None
+                if config.host_cache_entries > 0:
+                    cache = SetAssociativeLru(config.host_cache_entries, ways=16)
+                    self.host_caches[feature.name] = cache
+                backends[feature.name] = SsdSlsBackend(
+                    system, table, host_cache=cache, coalesce=config.coalesce
+                )
+            else:
+                partition = None
+                if config.partition_entries > 0:
+                    profile = (partition_profiles or {}).get(feature.name)
+                    if profile is None:
+                        raise ValueError(
+                            f"partition requested but no profile for {feature.name}"
+                        )
+                    partition = StaticPartitionCache.from_profile(
+                        table, profile, config.partition_entries
+                    )
+                    self.partitions[feature.name] = partition
+                backends[feature.name] = NdpSlsBackend(system, table, partition=partition)
+        self.stage = EmbeddingStage(backends)
+        if config.prewarm_page_cache and config.kind is not BackendKind.DRAM:
+            self._prewarm_page_cache()
+
+    def _prewarm_page_cache(self) -> None:
+        from ..embedding.spec import Layout
+        from ..embedding.table import TablePageContent
+
+        cache = self.system.device.ftl.page_cache
+        lbas_per_page = self.system.device.ftl.lbas_per_page
+        for feature in self.model.features:
+            table = self.model.tables[feature.name]
+            if table.spec.layout is not Layout.PACKED or not table.attached:
+                continue
+            n_pages = table.spec.table_pages(table.page_bytes)
+            if n_pages > cache.capacity - cache.size:
+                continue
+            base_lpn = table.base_lba // lbas_per_page
+            for page_index in range(n_pages):
+                cache.insert(base_lpn + page_index, TablePageContent(table, page_index))
+        cache.reset_stats()
+
+    # ------------------------------------------------------------------
+    def run_batches(self, batches: Sequence[Batch]) -> ModelRunResult:
+        outputs: List[Optional[np.ndarray]] = [None] * len(batches)
+        cpu = self.system.host_cpu
+
+        def dense_time_fn(i: int, emb_res: EmbStageResult) -> float:
+            if self.config.compute_outputs:
+                # Models reshape sequence features themselves via feature_values.
+                outputs[i] = self.model.forward(batches[i].dense, emb_res.values)
+            return self.model.dense_time(batches[i].batch_size, cpu)
+
+        pipeline = InferencePipeline(
+            self.stage, dense_time_fn, pipelined=self.config.pipelined
+        )
+        result = pipeline.run(
+            [b.bags for b in batches],
+            warmup=self.config.warmup_batches,
+            keep_results=True,
+        )
+        emb_results = [r.emb_result for r in result.records if r.emb_result]
+        return ModelRunResult(
+            pipeline=result,
+            outputs=[o for o in outputs if o is not None],
+            emb_results=emb_results,
+        )
+
+    # ------------------------------------------------------------------
+    def host_cache_hit_rate(self) -> float:
+        caches = list(self.host_caches.values())
+        hits = sum(c.hits for c in caches)
+        total = sum(c.hits + c.misses for c in caches)
+        return hits / total if total else 0.0
+
+    def partition_hit_rate(self) -> float:
+        parts = list(self.partitions.values())
+        hits = sum(p.hits for p in parts)
+        total = sum(p.hits + p.misses for p in parts)
+        return hits / total if total else 0.0
+
+    def ssd_emb_cache_hit_rate(self) -> float:
+        cache = self.system.device.ndp.emb_cache
+        total = cache.hits + cache.misses
+        return cache.hits / total if total else 0.0

@@ -1,0 +1,35 @@
+"""NVMe protocol model: commands, queues, PCIe link, device controller."""
+
+from .commands import (
+    COMMAND_BYTES,
+    COMPLETION_BYTES,
+    NvmeCommand,
+    NvmeCompletion,
+    Opcode,
+    SlbaCodec,
+    Status,
+)
+from .controller import NvmeController
+from .payload import ReadPayload, ReadSegment, page_content_to_bytes
+from .pcie import PcieConfig, PcieLink
+from .queues import CompletionQueue, QueueFullError, QueuePair, SubmissionQueue
+
+__all__ = [
+    "COMMAND_BYTES",
+    "COMPLETION_BYTES",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "Opcode",
+    "SlbaCodec",
+    "Status",
+    "NvmeController",
+    "ReadPayload",
+    "ReadSegment",
+    "page_content_to_bytes",
+    "PcieConfig",
+    "PcieLink",
+    "CompletionQueue",
+    "QueueFullError",
+    "QueuePair",
+    "SubmissionQueue",
+]

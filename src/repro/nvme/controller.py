@@ -1,0 +1,270 @@
+"""Device-side NVMe controller.
+
+Fetches commands from submission queues (paying PCIe and host-interface
+CPU time), dispatches conventional IO to the FTL, routes NDP-flagged
+commands to the attached SLS engine, DMAs data, and posts completions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..ftl.ftl import GreedyFtl
+from ..sim.kernel import Simulator
+from .commands import (
+    COMMAND_BYTES,
+    COMPLETION_BYTES,
+    NvmeCommand,
+    NvmeCompletion,
+    Opcode,
+    Status,
+)
+from .payload import ReadPayload, ReadSegment, page_content_to_bytes
+from .pcie import PcieLink
+from .queues import QueuePair
+
+__all__ = ["NvmeController"]
+
+
+class NvmeController:
+    """Bridges queue pairs to the FTL / NDP engine over a PCIe link."""
+
+    def __init__(self, sim: Simulator, ftl: GreedyFtl, pcie: PcieLink):
+        self.sim = sim
+        self.ftl = ftl
+        self.pcie = pcie
+        self.qpairs: Dict[int, QueuePair] = {}
+        self.ndp_engine: Optional[Any] = None  # set by the SSD device assembly
+        self.commands_fetched = 0
+        self.reads_served = 0
+        self.writes_served = 0
+        self.inflight = 0
+        self._fetch_active: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Queue registration / doorbells
+    # ------------------------------------------------------------------
+    def attach_qpair(self, qp: QueuePair) -> None:
+        if qp.qid in self.qpairs:
+            raise ValueError(f"qpair {qp.qid} already attached")
+        self.qpairs[qp.qid] = qp
+        self._fetch_active[qp.qid] = False
+        qp.sq.set_doorbell(self._doorbell)
+
+    def _doorbell(self, qid: int) -> None:
+        if not self._fetch_active[qid]:
+            self._fetch_active[qid] = True
+            self._fetch_next(qid)
+
+    def _fetch_next(self, qid: int) -> None:
+        qp = self.qpairs[qid]
+        cmd = qp.sq.pop()
+        if cmd is None:
+            self._fetch_active[qid] = False
+            return
+
+        def after_xfer() -> None:
+            self.ftl.cpu.host_core.submit(
+                self.ftl.cpu.costs.cmd_fetch_s, lambda: after_cpu()
+            )
+
+        def after_cpu() -> None:
+            self.commands_fetched += 1
+            self.inflight += 1
+            self._dispatch(qp, cmd)
+            self._fetch_next(qid)
+
+        self.pcie.to_device(COMMAND_BYTES, after_xfer)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        if cmd.ndp:
+            self._dispatch_ndp(qp, cmd)
+            return
+        if cmd.opcode is Opcode.READ:
+            self._do_read(qp, cmd)
+        elif cmd.opcode is Opcode.WRITE:
+            self._do_write(qp, cmd)
+        elif cmd.opcode is Opcode.FLUSH:
+            self.complete(qp, cmd, None, Status.SUCCESS)
+        elif cmd.opcode is Opcode.DSM:
+            self._do_trim(qp, cmd)
+        else:  # pragma: no cover - enum is closed
+            self.complete(qp, cmd, None, Status.INVALID_FIELD)
+
+    def _dispatch_ndp(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        if self.ndp_engine is None:
+            self.complete(qp, cmd, None, Status.INVALID_FIELD)
+            return
+        done: Callable[[Any, Status], None] = lambda payload, status: self.complete(
+            qp, cmd, payload, status
+        )
+        if cmd.opcode is Opcode.WRITE:
+            self.ndp_engine.handle_config_write(cmd, done)
+        elif cmd.opcode is Opcode.READ:
+            self.ndp_engine.handle_result_read(cmd, done)
+        else:
+            self.complete(qp, cmd, None, Status.INVALID_FIELD)
+
+    # ------------------------------------------------------------------
+    # Conventional read
+    # ------------------------------------------------------------------
+    def _do_read(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        lba_bytes = self.ftl.config.lba_bytes
+        if cmd.slba + cmd.nlb > self.ftl.logical_lbas:
+            self.complete(qp, cmd, None, Status.LBA_OUT_OF_RANGE)
+            return
+        self.reads_served += 1
+        lpns = list(self.ftl.lpn_range_for_lbas(cmd.slba, cmd.nlb))
+        total_bytes = cmd.nlb * lba_bytes
+        start_byte = cmd.slba * lba_bytes
+        end_byte = start_byte + total_bytes
+        page_bytes = self.ftl.page_bytes
+
+        def on_contents(contents: List[Any]) -> None:
+            segments: List[ReadSegment] = []
+            for lpn, content in zip(lpns, contents):
+                page_start = lpn * page_bytes
+                seg_start = max(start_byte, page_start)
+                seg_end = min(end_byte, page_start + page_bytes)
+                segments.append(
+                    ReadSegment(
+                        lpn=lpn,
+                        content=content,
+                        offset=seg_start - page_start,
+                        nbytes=seg_end - seg_start,
+                    )
+                )
+            payload = ReadPayload(segments=segments, nbytes=total_bytes)
+
+            def after_dma_setup() -> None:
+                self.pcie.to_host(total_bytes, lambda: self.complete(qp, cmd, payload))
+
+            self.ftl.cpu.host_core.submit(self.ftl.cpu.costs.dma_setup_s, after_dma_setup)
+
+        self.ftl.read_pages(lpns, on_contents)
+
+    # ------------------------------------------------------------------
+    # TRIM (dataset management deallocate): drop mappings for whole pages
+    # covered by the range; partially covered pages are left intact.
+    # ------------------------------------------------------------------
+    def _do_trim(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        lba_bytes = self.ftl.config.lba_bytes
+        if cmd.slba + cmd.nlb > self.ftl.logical_lbas:
+            self.complete(qp, cmd, None, Status.LBA_OUT_OF_RANGE)
+            return
+        lbas_per_page = self.ftl.lbas_per_page
+        first_full = -(-cmd.slba // lbas_per_page)
+        last_full = (cmd.slba + cmd.nlb) // lbas_per_page
+        lpns = list(range(first_full, last_full))
+
+        def after_cpu() -> None:
+            for lpn in lpns:
+                self.ftl.trim_page(lpn)
+            self.complete(qp, cmd, None)
+
+        cost = self.ftl.cpu.costs.io_hit_s + len(lpns) * 1e-6
+        self.ftl.cpu.ftl_core.submit(cost, after_cpu)
+
+    # ------------------------------------------------------------------
+    # Conventional write
+    # ------------------------------------------------------------------
+    def _do_write(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        lba_bytes = self.ftl.config.lba_bytes
+        if cmd.slba + cmd.nlb > self.ftl.logical_lbas:
+            self.complete(qp, cmd, None, Status.LBA_OUT_OF_RANGE)
+            return
+        data = np.asarray(cmd.data, dtype=np.uint8).reshape(-1)
+        total_bytes = cmd.nlb * lba_bytes
+        if data.size != total_bytes:
+            self.complete(qp, cmd, None, Status.INVALID_FIELD)
+            return
+        self.writes_served += 1
+
+        def after_data() -> None:
+            self._write_pages(qp, cmd, data)
+
+        self.pcie.to_device(total_bytes, after_data)
+
+    def _write_pages(self, qp: QueuePair, cmd: NvmeCommand, data: np.ndarray) -> None:
+        lba_bytes = self.ftl.config.lba_bytes
+        page_bytes = self.ftl.page_bytes
+        start_byte = cmd.slba * lba_bytes
+        end_byte = start_byte + data.size
+        lpns = list(self.ftl.lpn_range_for_lbas(cmd.slba, cmd.nlb))
+        remaining = len(lpns)
+
+        def page_written() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self.complete(qp, cmd, None)
+
+        for lpn in lpns:
+            page_start = lpn * page_bytes
+            seg_start = max(start_byte, page_start)
+            seg_end = min(end_byte, page_start + page_bytes)
+            chunk = data[seg_start - start_byte : seg_end - start_byte]
+            if seg_end - seg_start == page_bytes:
+                self.ftl.write_page(lpn, chunk.copy(), page_written)
+            else:
+                self._read_modify_write(
+                    lpn, chunk, seg_start - page_start, page_written
+                )
+
+    def _read_modify_write(
+        self, lpn: int, chunk: np.ndarray, offset: int, on_done: Callable[[], None]
+    ) -> None:
+        page_bytes = self.ftl.page_bytes
+
+        def after_read(content: Any, _hit: bool) -> None:
+            page = page_content_to_bytes(content, page_bytes).copy()
+            page[offset : offset + chunk.size] = chunk
+            self.ftl.write_page(lpn, page, on_done)
+
+        self.ftl.read_page(lpn, after_read)
+
+    # ------------------------------------------------------------------
+    # DMA helpers for the NDP engine
+    # ------------------------------------------------------------------
+    def dma_to_host(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        def after_setup() -> None:
+            self.pcie.to_host(nbytes, on_done)
+
+        self.ftl.cpu.host_core.submit(self.ftl.cpu.costs.dma_setup_s, after_setup)
+
+    def dma_to_device(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        def after_setup() -> None:
+            self.pcie.to_device(nbytes, on_done)
+
+        self.ftl.cpu.host_core.submit(self.ftl.cpu.costs.dma_setup_s, after_setup)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        qp: QueuePair,
+        cmd: NvmeCommand,
+        payload: Any = None,
+        status: Status = Status.SUCCESS,
+    ) -> None:
+        def after_cpu() -> None:
+            self.pcie.to_host(COMPLETION_BYTES, post)
+
+        def post() -> None:
+            self.inflight -= 1
+            qp.cq.post(
+                NvmeCompletion(
+                    cid=cmd.cid,
+                    status=status,
+                    payload=payload,
+                    complete_time=self.sim.now,
+                )
+            )
+
+        self.ftl.cpu.host_core.submit(self.ftl.cpu.costs.cmd_complete_s, after_cpu)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate (kernel, resources, statistics)."""
+
+from .kernel import Process, ScheduleHandle, Signal, SimError, Simulator, Timeout, drain
+from .resources import BandwidthPipe, Server, Store
+from .stats import Accumulator, Breakdown, Histogram, TimeWeightedStat, summarize_latencies
+from . import units
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "SimError",
+    "ScheduleHandle",
+    "drain",
+    "Server",
+    "Store",
+    "BandwidthPipe",
+    "Accumulator",
+    "Breakdown",
+    "Histogram",
+    "TimeWeightedStat",
+    "summarize_latencies",
+    "units",
+]

@@ -1,0 +1,264 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event heap, callback
+scheduling, and generator-based processes for control-heavy logic.  Hot
+paths (per-flash-page operations) use plain callbacks to keep Python
+overhead low; background loops (FTL polling, drivers) use processes.
+
+Time is a float in **seconds**.  Helpers in :mod:`repro.sim.units` convert
+from microseconds/milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "SimError",
+    "ScheduleHandle",
+]
+
+
+class SimError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class ScheduleHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._running = False
+        self.event_count = 0
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduleHandle:
+        """Run ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduleHandle:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        event = _Event(time, self._seq, callback)
+        heapq.heappush(self._heap, event)
+        return ScheduleHandle(event)
+
+    def call_soon(self, callback: Callable[[], None]) -> ScheduleHandle:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.event_count += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or ``until`` is reached.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                self.event_count += 1
+                head.callback()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, predicate: Callable[[], bool], limit: float = float("inf")) -> float:
+        """Run until ``predicate()`` is true (checked after each event)."""
+        if predicate():
+            return self._now
+        while self._heap and self._now <= limit:
+            if not self.step():
+                break
+            if predicate():
+                return self._now
+        if not predicate():
+            raise SimError("run_until: event heap drained before predicate held")
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator[Any, Any, Any]) -> "Process":
+        """Start a generator-based process.
+
+        The generator may yield:
+          * ``Timeout(dt)`` — resume after ``dt`` simulated seconds,
+          * ``Signal`` — resume when the signal fires (receiving its value),
+          * another ``Process`` — resume when that process terminates.
+        """
+        proc = Process(self, generator)
+        self.call_soon(proc._resume_first)
+        return proc
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes or callbacks wait on the signal; :meth:`fire` wakes all current
+    waiters with an optional value.  Signals may fire repeatedly.
+    """
+
+    __slots__ = ("_sim", "_waiters", "name")
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self._sim = sim
+        self._waiters: list[Callable[[Any], None]] = []
+        self.name = name
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Process:
+    """A running generator-based process (see :meth:`Simulator.process`)."""
+
+    __slots__ = ("_sim", "_gen", "alive", "result", "_done_signal")
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any]):
+        self._sim = sim
+        self._gen = gen
+        self.alive = True
+        self.result: Any = None
+        self._done_signal = Signal(sim, "process-done")
+
+    def _resume_first(self) -> None:
+        self._advance(None)
+
+    def _advance(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self._done_signal.fire(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim.schedule(yielded.delay, lambda: self._advance(None))
+        elif isinstance(yielded, Signal):
+            yielded.wait(self._advance)
+        elif isinstance(yielded, Process):
+            if yielded.alive:
+                yielded._done_signal.wait(self._advance)
+            else:
+                self._sim.call_soon(lambda: self._advance(yielded.result))
+        else:
+            raise SimError(f"process yielded unsupported object {yielded!r}")
+
+    def join(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(result)`` when the process terminates."""
+        if self.alive:
+            self._done_signal.wait(callback)
+        else:
+            self._sim.call_soon(lambda: callback(self.result))
+
+
+def drain(sim: Simulator, processes: Iterable[Process]) -> None:
+    """Run the simulator until every process in ``processes`` has finished."""
+    procs = list(processes)
+    sim.run_until(lambda: all(not p.alive for p in procs))

@@ -1,0 +1,180 @@
+"""Queueing resources for the DES kernel.
+
+Two families:
+
+* :class:`Server` — a FIFO single- or multi-server station with per-job
+  service times, used for contended hardware (FTL CPU cores, PCIe link,
+  flash channels).  Callback-based for low overhead on hot paths.
+* :class:`Store` — an unbounded FIFO handoff queue between producer and
+  consumer callbacks/processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .kernel import SimError, Simulator
+from .stats import TimeWeightedStat
+
+__all__ = ["Server", "Store", "BandwidthPipe"]
+
+
+class Server:
+    """Priority-FIFO station with ``capacity`` parallel servers.
+
+    Jobs are submitted with an explicit service time; when a server becomes
+    free the highest-priority (lowest number), oldest job starts, and its
+    completion callback runs when the service time elapses.  Priorities
+    model firmware polling loops that refill hardware queues before doing
+    deferrable computation (e.g. the FTL schedules flash page requests
+    ahead of SLS translation work).  Tracks utilization and queue stats.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "server"):
+        if capacity < 1:
+            raise SimError(f"server capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._busy = 0
+        self._heap: list[tuple[int, int, float, Callable[[], None]]] = []
+        self._seq = 0
+        self.jobs_started = 0
+        self.jobs_completed = 0
+        self.busy_time = 0.0
+        self.queue_len_stat = TimeWeightedStat(sim)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, service_time: float, on_done: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Enqueue a job needing ``service_time`` seconds of a server."""
+        if service_time < 0:
+            raise SimError(f"negative service time {service_time}")
+        if self._busy < self.capacity:
+            self._start(service_time, on_done)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (priority, self._seq, service_time, on_done))
+            self.queue_len_stat.record(len(self._heap))
+
+    def _start(self, service_time: float, on_done: Callable[[], None]) -> None:
+        self._busy += 1
+        self.jobs_started += 1
+        self.busy_time += service_time
+        self.sim.schedule(service_time, lambda: self._finish(on_done))
+
+    def _finish(self, on_done: Callable[[], None]) -> None:
+        self._busy -= 1
+        self.jobs_completed += 1
+        if self._heap:
+            _prio, _seq, service_time, callback = heapq.heappop(self._heap)
+            self.queue_len_stat.record(len(self._heap))
+            self._start(service_time, callback)
+        on_done()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    @property
+    def idle(self) -> bool:
+        return self._busy == 0 and not self._heap
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of server-seconds spent busy over ``elapsed`` seconds."""
+        span = self.sim.now if elapsed is None else elapsed
+        if span <= 0:
+            return 0.0
+        return self.busy_time / (span * self.capacity)
+
+
+class Store:
+    """Unbounded FIFO queue connecting asynchronous producers/consumers."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Callable[[Any], None]] = deque()
+        self.put_count = 0
+        self.get_count = 0
+
+    def put(self, item: Any) -> None:
+        self.put_count += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            self.get_count += 1
+            # Deliver on a fresh event so producer stack frames unwind first.
+            self.sim.call_soon(lambda: getter(item))
+        else:
+            self._items.append(item)
+
+    def get(self, callback: Callable[[Any], None]) -> None:
+        if self._items:
+            item = self._items.popleft()
+            self.get_count += 1
+            self.sim.call_soon(lambda: callback(item))
+        else:
+            self._getters.append(callback)
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            self.get_count += 1
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BandwidthPipe:
+    """A link that serializes transfers at a fixed bandwidth plus latency.
+
+    Models a PCIe link or a flash-channel bus: transfers queue FIFO, each
+    occupying the link for ``size / bandwidth`` and completing after an
+    additional propagation ``latency`` (latency does not occupy the link).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: float,
+        latency_s: float = 0.0,
+        name: str = "pipe",
+    ):
+        if bandwidth_bytes_per_s <= 0:
+            raise SimError("bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_s
+        self.latency = latency_s
+        self._server = Server(sim, capacity=1, name=f"{name}.bus")
+        self.bytes_transferred = 0
+
+    def transfer(self, size_bytes: int, on_done: Callable[[], None]) -> None:
+        """Move ``size_bytes`` through the link, then call ``on_done``."""
+        if size_bytes < 0:
+            raise SimError(f"negative transfer size {size_bytes}")
+        self.bytes_transferred += size_bytes
+        occupancy = size_bytes / self.bandwidth
+        if self.latency > 0:
+            latency = self.latency
+            sim = self.sim
+            self._server.submit(occupancy, lambda: sim.schedule(latency, on_done))
+        else:
+            self._server.submit(occupancy, on_done)
+
+    @property
+    def queue_length(self) -> int:
+        return self._server.queue_length
+
+    def utilization(self) -> float:
+        return self._server.utilization()

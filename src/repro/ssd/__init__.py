@@ -1,0 +1,13 @@
+"""SSD device assembly and presets."""
+
+from .device import SsdConfig, SsdDevice
+from .presets import cosmos_plus, cosmos_plus_config, small_ssd, small_ssd_config
+
+__all__ = [
+    "SsdConfig",
+    "SsdDevice",
+    "cosmos_plus",
+    "cosmos_plus_config",
+    "small_ssd",
+    "small_ssd_config",
+]

@@ -1,0 +1,22 @@
+"""Synthetic input traces: locality-parameterized and power-law generators."""
+
+from .analysis import (
+    lru_page_hit_rate,
+    reuse_cdf,
+    rows_to_pages,
+    stack_distances,
+    unique_fraction,
+)
+from .locality import LocalityTraceGenerator, unique_fraction_for_k
+from .powerlaw import ZipfTraceGenerator
+
+__all__ = [
+    "lru_page_hit_rate",
+    "reuse_cdf",
+    "rows_to_pages",
+    "stack_distances",
+    "unique_fraction",
+    "LocalityTraceGenerator",
+    "unique_fraction_for_k",
+    "ZipfTraceGenerator",
+]

@@ -1,0 +1,83 @@
+"""Trace analytics: reuse distributions, stack distances, cache sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..embedding.caches import SetAssociativeLru
+
+__all__ = [
+    "unique_fraction",
+    "rows_to_pages",
+    "reuse_cdf",
+    "lru_page_hit_rate",
+    "stack_distances",
+]
+
+
+def unique_fraction(trace: np.ndarray) -> float:
+    trace = np.asarray(trace)
+    if trace.size == 0:
+        return 0.0
+    return float(np.unique(trace).size) / trace.size
+
+
+def rows_to_pages(trace: np.ndarray, row_bytes: int, page_bytes: int) -> np.ndarray:
+    """Map a row-id trace to page ids at a given page granularity."""
+    if page_bytes < row_bytes:
+        raise ValueError("page must be at least one row")
+    rows_per_page = page_bytes // row_bytes
+    return np.asarray(trace, dtype=np.int64) // rows_per_page
+
+
+def reuse_cdf(page_trace: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 3's curve: cumulative hit share vs pages (ascending hit count).
+
+    Returns ``(pages_fraction, cumulative_hits_fraction)`` where index i
+    covers the i+1 least-hit pages.
+    """
+    page_trace = np.asarray(page_trace, dtype=np.int64)
+    if page_trace.size == 0:
+        return np.zeros(0), np.zeros(0)
+    _ids, counts = np.unique(page_trace, return_counts=True)
+    counts = np.sort(counts)
+    cum = np.cumsum(counts, dtype=np.float64)
+    pages_fraction = np.arange(1, counts.size + 1, dtype=np.float64) / counts.size
+    return pages_fraction, cum / cum[-1]
+
+
+def lru_page_hit_rate(
+    page_trace: np.ndarray, capacity_pages: int, ways: int = 16
+) -> float:
+    """Hit rate of a ``ways``-way LRU page cache over a page-id trace (Fig 4)."""
+    cache = SetAssociativeLru(capacity_pages, ways=ways)
+    marker = np.zeros(0)  # cached payloads are irrelevant here
+    hits = 0
+    trace = np.asarray(page_trace, dtype=np.int64)
+    for page in trace:
+        if cache.lookup(int(page)) is not None:
+            hits += 1
+        else:
+            cache.insert(int(page), marker)
+    return hits / trace.size if trace.size else 0.0
+
+
+def stack_distances(trace: Sequence[int]) -> List[int]:
+    """LRU stack distance per access; -1 marks first touches."""
+    stack: List[int] = []
+    out: List[int] = []
+    position: Dict[int, None] = {}
+    for item in trace:
+        item = int(item)
+        try:
+            d = stack.index(item)
+        except ValueError:
+            out.append(-1)
+            stack.insert(0, item)
+            continue
+        out.append(d)
+        stack.pop(d)
+        stack.insert(0, item)
+    return out

@@ -1,0 +1,86 @@
+"""SSD-side direct-mapped embedding cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.embcache import DirectMappedEmbeddingCache
+
+
+def vec(x):
+    return np.full(4, float(x), dtype=np.float32)
+
+
+class TestDirectMapped:
+    def test_insert_lookup(self):
+        cache = DirectMappedEmbeddingCache(64)
+        cache.insert(1, 10, vec(1))
+        got = cache.lookup(1, 10)
+        assert got is not None and got[0] == 1.0
+        assert cache.hits == 1
+
+    def test_miss(self):
+        cache = DirectMappedEmbeddingCache(64)
+        assert cache.lookup(1, 10) is None
+        assert cache.misses == 1
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedEmbeddingCache(1)  # every key maps to slot 0
+        cache.insert(0, 1, vec(1))
+        cache.insert(0, 2, vec(2))
+        assert cache.conflict_evictions == 1
+        assert cache.lookup(0, 1) is None
+        got = cache.lookup(0, 2)
+        assert got is not None and got[0] == 2.0
+
+    def test_same_key_overwrite_not_conflict(self):
+        cache = DirectMappedEmbeddingCache(16)
+        cache.insert(0, 1, vec(1))
+        cache.insert(0, 1, vec(9))
+        assert cache.conflict_evictions == 0
+        assert cache.lookup(0, 1)[0] == 9.0
+
+    def test_tables_are_distinct(self):
+        cache = DirectMappedEmbeddingCache(1 << 12)
+        cache.insert(1, 5, vec(1))
+        assert cache.lookup(2, 5) is None
+
+    def test_disabled_cache(self):
+        cache = DirectMappedEmbeddingCache(0)
+        cache.insert(0, 1, vec(1))
+        assert cache.lookup(0, 1) is None
+        assert cache.occupancy == 0
+
+    def test_lookup_many(self):
+        cache = DirectMappedEmbeddingCache(256)
+        cache.insert(0, 3, vec(3))
+        mask, vectors = cache.lookup_many(0, np.array([1, 3, 5]))
+        assert list(mask) == [False, True, False]
+        assert vectors[1][0] == 3.0
+
+    def test_stats_reset_and_clear(self):
+        cache = DirectMappedEmbeddingCache(8)
+        cache.insert(0, 1, vec(1))
+        cache.lookup(0, 1)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.hit_rate == 0.0
+        cache.clear()
+        assert cache.occupancy == 0
+
+    def test_conflicting_keys_thrash(self):
+        """Two rows mapping to the same slot evict each other forever.
+
+        The slot hash is (row * 2654435761 + table * 97) % slots and the
+        multiplier is odd, so with 8 slots rows differing by 8 collide.
+        An 8-entry LRU would serve this alternation at 100% after warmup;
+        the direct-mapped cache gets 0%.
+        """
+        cache = DirectMappedEmbeddingCache(8)
+        hits = 0
+        for i in range(50):
+            row = 0 if i % 2 == 0 else 8
+            if cache.lookup(0, row) is not None:
+                hits += 1
+            else:
+                cache.insert(0, row, vec(row))
+        assert hits == 0
+        assert cache.conflict_evictions >= 48

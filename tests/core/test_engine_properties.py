@@ -1,0 +1,90 @@
+"""Property-based tests: the NDP engine equals the reference for any
+bag structure, layout and quantization hypothesis can produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.driver.sync import sync_sls
+from repro.embedding.backends import SsdSlsBackend
+from repro.embedding.spec import Layout, TableSpec
+from repro.embedding.table import EmbeddingTable
+from repro.host.system import System
+from repro.quant import EmbDtype, QuantSpec
+from repro.ssd.presets import cosmos_plus_config
+
+ROWS = 384
+
+bag_strategy = st.lists(
+    st.lists(st.integers(0, ROWS - 1), max_size=12).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def fresh_stack(layout: Layout, dtype: EmbDtype, dim: int):
+    system = System(cosmos_plus_config(min_capacity_pages=1 << 12))
+    table = EmbeddingTable(
+        TableSpec("prop", rows=ROWS, dim=dim, quant=QuantSpec(dtype=dtype), layout=layout),
+        seed=13,
+    )
+    table.attach(system.device)
+    return system, table
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    bags=bag_strategy,
+    layout=st.sampled_from([Layout.ONE_PER_PAGE, Layout.PACKED]),
+    dtype=st.sampled_from([EmbDtype.FP32, EmbDtype.INT8]),
+    dim=st.sampled_from([4, 16]),
+)
+def test_ndp_matches_reference_for_any_bags(bags, layout, dtype, dim):
+    system, table = fresh_stack(layout, dtype, dim)
+    config = table.make_sls_config(bags)
+    payload, _timing = sync_sls(system.sim, system.ndp_session, config)
+    ref = table.ref_sls(bags)
+    assert payload.values.shape == ref.shape
+    assert np.allclose(payload.values, ref, rtol=1e-4, atol=1e-5)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(bags=bag_strategy)
+def test_baseline_matches_reference_for_any_bags(bags):
+    system, table = fresh_stack(Layout.PACKED, EmbDtype.FP32, 8)
+    result = SsdSlsBackend(system, table).run_sync(bags)
+    ref = table.ref_sls(bags)
+    assert np.allclose(result.values, ref, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_requests=st.integers(2, 5),
+    bag_size=st.integers(1, 10),
+)
+def test_concurrent_ndp_requests_all_correct(n_requests, bag_size):
+    system, table = fresh_stack(Layout.ONE_PER_PAGE, EmbDtype.FP32, 8)
+    rng = np.random.default_rng(bag_size)
+    results = {}
+    expected = {}
+    for i in range(n_requests):
+        bags = [rng.integers(0, ROWS, size=bag_size) for _ in range(3)]
+        expected[i] = table.ref_sls(bags)
+        system.ndp_session.sls(
+            table.make_sls_config(bags),
+            lambda payload, _t, i=i: results.__setitem__(i, payload.values),
+        )
+    system.sim.run_until(lambda: len(results) == n_requests)
+    for i in range(n_requests):
+        assert np.allclose(results[i], expected[i], rtol=1e-4, atol=1e-5)

@@ -1,0 +1,61 @@
+"""Vector extraction from page content (virtual, raw bytes, None)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_vectors
+from repro.quant import EmbDtype, QuantSpec, encode_vectors
+
+
+class VirtualPage:
+    def __init__(self, values):
+        self.values = values
+
+    def vectors(self, slots):
+        return self.values[slots]
+
+
+class TestExtract:
+    def test_none_returns_zeros(self):
+        out = extract_vectors(None, np.array([0, 1]), 4, 8, QuantSpec())
+        assert out.shape == (2, 4)
+        assert np.all(out == 0)
+
+    def test_virtual_fast_path(self):
+        values = np.arange(32, dtype=np.float32).reshape(8, 4)
+        out = extract_vectors(VirtualPage(values), np.array([2, 5]), 4, 8, QuantSpec())
+        assert np.array_equal(out, values[[2, 5]])
+
+    def test_raw_bytes_fp32(self):
+        quant = QuantSpec()
+        values = np.random.default_rng(0).standard_normal((8, 4)).astype(np.float32)
+        page = np.zeros(8 * 16 + 10, dtype=np.uint8)  # trailing slack ok
+        page[: 8 * 16] = values.view(np.uint8).reshape(-1)
+        out = extract_vectors(page, np.array([0, 7]), 4, 8, quant)
+        assert np.allclose(out, values[[0, 7]])
+
+    @pytest.mark.parametrize("dtype", [EmbDtype.FP16, EmbDtype.INT8])
+    def test_raw_bytes_quantized(self, dtype):
+        quant = QuantSpec(dtype=dtype)
+        raw = np.random.default_rng(1).standard_normal((4, 8)).astype(np.float32) * 0.3
+        stored = encode_vectors(raw, quant)
+        row_bytes = quant.row_bytes(8)
+        page = stored.view(np.uint8).reshape(4, row_bytes).reshape(-1)
+        out = extract_vectors(page, np.array([1, 3]), 8, 4, quant)
+        from repro.quant import decode_vectors
+
+        expected = decode_vectors(stored, quant)[[1, 3]]
+        assert np.allclose(out, expected)
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(IndexError):
+            extract_vectors(None, np.array([8]), 4, 8, QuantSpec())
+
+    def test_bad_content_type(self):
+        with pytest.raises(TypeError):
+            extract_vectors(object(), np.array([0]), 4, 8, QuantSpec())
+
+    def test_short_buffer_rejected(self):
+        page = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            extract_vectors(page, np.array([0]), 4, 8, QuantSpec())

@@ -1,0 +1,80 @@
+"""SLS request entry: state machine and breakdown accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SlsConfig, build_pairs
+from repro.core.request import PageWork, SlsRequestEntry, SlsState
+
+
+def make_entry(**kwargs):
+    config = SlsConfig(
+        table_base_lba=0,
+        request_id=1,
+        pairs=build_pairs([np.array([0, 1])]),
+        num_results=1,
+        vec_dim=4,
+        rows_per_page=1,
+        table_rows=16,
+    )
+    entry = SlsRequestEntry(request_id=1, config=config, table_base_lpn=0, **kwargs)
+    entry.init_scratchpad()
+    return entry
+
+
+class TestEntry:
+    def test_scratchpad_shape(self):
+        entry = make_entry()
+        assert entry.scratchpad.shape == (1, 4)
+        assert entry.scratchpad.dtype == np.float32
+
+    def test_work_done_requires_gathering_state(self):
+        entry = make_entry()
+        assert not entry.work_done  # still ALLOCATED
+        entry.state = SlsState.GATHERING
+        assert entry.work_done  # no pages, no cache work
+
+    def test_work_done_waits_for_pages(self):
+        entry = make_entry()
+        entry.state = SlsState.GATHERING
+        entry.pages_total = 2
+        entry.pages_done = 1
+        assert not entry.work_done
+        entry.pages_done = 2
+        assert entry.work_done
+
+    def test_work_done_waits_for_cache_work(self):
+        entry = make_entry()
+        entry.state = SlsState.GATHERING
+        entry.cache_work_pending = True
+        assert not entry.work_done
+
+    def test_breakdown_components(self):
+        entry = make_entry()
+        entry.t_start = 1.0
+        entry.t_config_written = 1.5
+        entry.cpu_config_process = 0.2
+        entry.cpu_translation = 0.3
+        entry.t_work_done = 3.0
+        bd = entry.breakdown()
+        assert bd.get("config_write") == pytest.approx(0.5)
+        assert bd.get("config_process") == pytest.approx(0.2)
+        assert bd.get("translation") == pytest.approx(0.3)
+        # flash wait = (3.0 - 1.5) - 0.2 - 0.3
+        assert bd.get("flash_read") == pytest.approx(1.0)
+        assert bd.total == pytest.approx(2.0)
+
+    def test_breakdown_clamps_negative_wait(self):
+        entry = make_entry()
+        entry.t_start = 0.0
+        entry.t_config_written = 0.1
+        entry.cpu_config_process = 5.0  # CPU time exceeds wall span
+        entry.t_work_done = 0.2
+        assert entry.breakdown().get("flash_read") == 0.0
+
+    def test_page_work_holds_arrays(self):
+        work = PageWork(
+            lpn=7, slots=np.array([0, 1]), result_ids=np.array([0, 0])
+        )
+        assert work.lpn == 7
+        assert work.slots.size == work.result_ids.size == 2

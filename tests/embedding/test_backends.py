@@ -1,0 +1,122 @@
+"""All three SLS backends: correctness vs the DRAM reference, caching
+semantics, latency ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embedding.backends import DramSlsBackend, NdpSlsBackend, SsdSlsBackend
+from repro.embedding.caches import SetAssociativeLru, StaticPartitionCache
+from repro.embedding.spec import Layout
+from repro.quant import EmbDtype, QuantSpec
+
+from ..conftest import make_table, random_bags
+
+
+@pytest.mark.parametrize("layout", [Layout.ONE_PER_PAGE, Layout.PACKED])
+@pytest.mark.parametrize(
+    "quant",
+    [QuantSpec(), QuantSpec(dtype=EmbDtype.FP16), QuantSpec(dtype=EmbDtype.INT8)],
+    ids=["fp32", "fp16", "int8"],
+)
+def test_all_backends_match_reference(system, layout, quant):
+    table = make_table(system, rows=1024, dim=16, layout=layout, quant=quant)
+    rng = np.random.default_rng(9)
+    bags = random_bags(rng, 1024, n_bags=10, bag_size=7)
+    ref = table.ref_sls(bags)
+    for backend in (
+        DramSlsBackend(system, table),
+        SsdSlsBackend(system, table),
+        NdpSlsBackend(system, table),
+    ):
+        result = backend.run_sync(bags)
+        assert np.allclose(result.values, ref, rtol=1e-4, atol=1e-5), type(backend)
+
+
+def test_latency_ordering_dram_ndp_ssd(system):
+    """DRAM << NDP < baseline SSD for random one-per-page lookups."""
+    table = make_table(system, rows=4096, dim=32)
+    rng = np.random.default_rng(1)
+    bags = random_bags(rng, 4096, n_bags=16, bag_size=20)
+    dram = DramSlsBackend(system, table).run_sync(bags)
+    ndp = NdpSlsBackend(system, table).run_sync(bags)
+    # Fresh table/cache state for the baseline comparison isn't needed:
+    # the page cache can only help it, and it still loses.
+    base = SsdSlsBackend(system, table).run_sync(bags)
+    assert dram.latency < ndp.latency < base.latency
+    assert base.latency / dram.latency > 50
+
+
+class TestSsdBackend:
+    def test_host_cache_filters_repeat_batches(self, system):
+        table = make_table(system, rows=512, dim=16)
+        cache = SetAssociativeLru(256, ways=16)
+        backend = SsdSlsBackend(system, table, host_cache=cache)
+        bags = [np.arange(10), np.arange(5, 15)]
+        first = backend.run_sync(bags)
+        second = backend.run_sync(bags)
+        assert second.stats["cache_hits"] > 0
+        assert second.latency < first.latency
+        assert np.allclose(first.values, second.values, rtol=1e-5)
+
+    def test_sequential_duplicate_credit(self, system):
+        table = make_table(system, rows=512, dim=16)
+        cache = SetAssociativeLru(256, ways=16)
+        backend = SsdSlsBackend(system, table, host_cache=cache)
+        backend.run_sync([np.array([3, 3, 3, 3])])
+        # First occurrence misses, the other three are sequential hits.
+        assert cache.hits == 3
+        assert cache.misses == 1
+
+    def test_dedup_pages_within_batch(self, system):
+        table = make_table(system, rows=512, dim=16)
+        backend = SsdSlsBackend(system, table)
+        result = backend.run_sync([np.array([7, 7]), np.array([7])])
+        assert result.stats["commands"] == 1.0
+
+    def test_coalescing_reduces_commands_for_seq(self, system):
+        table = make_table(system, rows=2048, dim=32, layout=Layout.ONE_PER_PAGE)
+        bags = [np.arange(32)]
+        plain = SsdSlsBackend(system, table).run_sync(bags)
+        coalesced = SsdSlsBackend(system, table, coalesce=True).run_sync(bags)
+        assert coalesced.stats["commands"] < plain.stats["commands"]
+        assert np.allclose(plain.values, coalesced.values, rtol=1e-5)
+
+    def test_empty_bags(self, system):
+        table = make_table(system, rows=64, dim=8)
+        result = SsdSlsBackend(system, table).run_sync([np.array([], dtype=np.int64)])
+        assert np.all(result.values == 0)
+        assert result.stats["commands"] == 0.0
+
+
+class TestNdpBackend:
+    def test_partition_offloads_hot_rows(self, system):
+        table = make_table(system, rows=512, dim=16)
+        profile = [np.array([1, 1, 2, 2, 3])]
+        partition = StaticPartitionCache.from_profile(table, profile, capacity=2)
+        backend = NdpSlsBackend(system, table, partition=partition)
+        bags = [np.array([1, 2, 50]), np.array([2, 60])]
+        result = backend.run_sync(bags)
+        assert np.allclose(result.values, table.ref_sls(bags), rtol=1e-4, atol=1e-5)
+        assert result.stats["partition_hits"] == 3
+        assert result.stats["cold_lookups"] == 2
+
+    def test_all_hot_skips_device(self, system):
+        table = make_table(system, rows=512, dim=16)
+        partition = StaticPartitionCache.from_profile(
+            table, [np.array([4, 5])], capacity=2
+        )
+        backend = NdpSlsBackend(system, table, partition=partition)
+        started = system.device.ndp.requests_started
+        result = backend.run_sync([np.array([4, 5]), np.array([4])])
+        assert system.device.ndp.requests_started == started
+        assert np.allclose(
+            result.values, table.ref_sls([np.array([4, 5]), np.array([4])]),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_breakdown_includes_ftl_components(self, system):
+        table = make_table(system, rows=512, dim=16)
+        result = NdpSlsBackend(system, table).run_sync([np.array([1, 2, 3])])
+        assert result.breakdown.get("translation") > 0
+        assert "flash_pages_read" in result.stats

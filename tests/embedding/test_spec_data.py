@@ -1,0 +1,115 @@
+"""Table specs, data sources, quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding.data import DenseTableData, VirtualTableData
+from repro.embedding.spec import Layout, TableSpec
+from repro.quant import EmbDtype, QuantSpec, decode_vectors, encode_vectors
+
+
+class TestSpec:
+    def test_one_per_page(self):
+        spec = TableSpec("t", rows=100, dim=32, layout=Layout.ONE_PER_PAGE)
+        assert spec.rows_per_page(16 * 1024) == 1
+        assert spec.table_pages(16 * 1024) == 100
+        assert spec.row_bytes == 128
+
+    def test_packed(self):
+        spec = TableSpec("t", rows=1000, dim=32, layout=Layout.PACKED)
+        assert spec.rows_per_page(16 * 1024) == 128
+        assert spec.table_pages(16 * 1024) == 8  # ceil(1000/128)
+
+    def test_packed_row_too_big(self):
+        spec = TableSpec("t", rows=10, dim=4096 * 5, layout=Layout.PACKED)
+        with pytest.raises(ValueError):
+            spec.rows_per_page(16 * 1024)
+
+    def test_quantized_row_bytes(self):
+        spec = TableSpec("t", rows=10, dim=32, quant=QuantSpec(dtype=EmbDtype.INT8))
+        assert spec.row_bytes == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableSpec("t", rows=0, dim=4)
+
+
+class TestVirtualData:
+    def test_deterministic(self):
+        a = VirtualTableData(1000, 16, seed=3)
+        b = VirtualTableData(1000, 16, seed=3)
+        ids = np.array([0, 5, 999])
+        assert np.array_equal(a.get_rows(ids), b.get_rows(ids))
+
+    def test_distinct_rows_differ(self):
+        data = VirtualTableData(100000, 16, seed=3, pool_rows=64)
+        # Rows sharing the same pool vector still differ via the id stamp.
+        a = data.get_rows(np.array([0]))
+        b = data.get_rows(np.array([64]))
+        assert not np.array_equal(a, b)
+
+    def test_out_of_range(self):
+        data = VirtualTableData(10, 4)
+        with pytest.raises(IndexError):
+            data.get_rows(np.array([10]))
+        with pytest.raises(IndexError):
+            data.get_rows(np.array([-1]))
+
+    def test_different_seeds_differ(self):
+        a = VirtualTableData(100, 8, seed=1)
+        b = VirtualTableData(100, 8, seed=2)
+        assert not np.array_equal(a.get_rows(np.array([5])), b.get_rows(np.array([5])))
+
+
+class TestDenseData:
+    def test_roundtrip(self):
+        values = np.random.default_rng(0).standard_normal((10, 4)).astype(np.float32)
+        data = DenseTableData(values)
+        assert np.array_equal(data.get_rows(np.array([3, 3, 9])), values[[3, 3, 9]])
+
+    def test_random_factory(self):
+        data = DenseTableData.random(20, 8, seed=1)
+        assert data.rows == 20 and data.dim == 8
+
+
+finite_vecs = st.lists(
+    st.floats(min_value=-1.5, max_value=1.5, allow_nan=False),
+    min_size=8,
+    max_size=8,
+)
+
+
+class TestQuantization:
+    @given(vec=finite_vecs)
+    @settings(max_examples=60)
+    def test_fp32_roundtrip_exact(self, vec):
+        values = np.array([vec], dtype=np.float32)
+        spec = QuantSpec(dtype=EmbDtype.FP32)
+        assert np.array_equal(decode_vectors(encode_vectors(values, spec), spec), values)
+
+    @given(vec=finite_vecs)
+    @settings(max_examples=60)
+    def test_int8_roundtrip_within_half_step(self, vec):
+        values = np.array([vec], dtype=np.float32)
+        spec = QuantSpec(dtype=EmbDtype.INT8, scale=1.0 / 64.0)
+        decoded = decode_vectors(encode_vectors(values, spec), spec)
+        clipped = np.clip(values, -128 * spec.scale, 127 * spec.scale)
+        assert np.all(np.abs(decoded - clipped) <= spec.scale / 2 + 1e-7)
+
+    @given(vec=finite_vecs)
+    @settings(max_examples=60)
+    def test_quantization_idempotent(self, vec):
+        """decode(encode(x)) is a fixed point of the roundtrip."""
+        values = np.array([vec], dtype=np.float32)
+        for dtype in EmbDtype:
+            spec = QuantSpec(dtype=dtype)
+            once = decode_vectors(encode_vectors(values, spec), spec)
+            twice = decode_vectors(encode_vectors(once, spec), spec)
+            assert np.array_equal(once, twice)
+
+    def test_fp16_precision(self):
+        spec = QuantSpec(dtype=EmbDtype.FP16)
+        values = np.array([[0.1, -0.25, 1.0, 3.14]], dtype=np.float32)
+        decoded = decode_vectors(encode_vectors(values, spec), spec)
+        assert np.allclose(decoded, values, atol=2e-3)

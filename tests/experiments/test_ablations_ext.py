@@ -1,0 +1,56 @@
+"""Ablation and extension experiments: sanity of their headline trends."""
+
+import pytest
+
+from repro.experiments import ablations, ext_multi_ssd
+
+pytestmark = pytest.mark.slow
+
+
+class TestAblations:
+    def test_translation_cost_monotone(self):
+        result = ablations.run_translation_cost(fast=True)
+        speedups = [float(r["ndp_speedup"]) for r in result.rows]
+        # Cheaper translation -> more NDP benefit, monotonically.
+        assert speedups == sorted(speedups, reverse=True)
+        # Custom logic (0x) beats the calibrated ARM meaningfully.
+        assert speedups[0] > speedups[-1] * 1.3
+
+    def test_channels_scale_ndp_not_baseline(self):
+        result = ablations.run_channel_scaling(fast=True)
+        by_channels = {int(r["value"]): r for r in result.rows}
+        lo, hi = min(by_channels), max(by_channels)
+        # Baseline is command-bound: nearly flat across channel counts.
+        assert float(by_channels[lo]["base_ms"]) == pytest.approx(
+            float(by_channels[hi]["base_ms"]), rel=0.15
+        )
+        # NDP rides internal parallelism.
+        assert float(by_channels[lo]["ndp_ms"]) > 2 * float(by_channels[hi]["ndp_ms"])
+
+    def test_embcache_hits_under_locality(self):
+        result = ablations.run_embcache_size(fast=True)
+        by_slots = {int(r["value"]): r for r in result.rows}
+        assert float(by_slots[0]["hit_rate"]) == 0.0
+        assert float(by_slots[max(by_slots)]["hit_rate"]) > 0.2
+
+    def test_window_saturates(self):
+        result = ablations.run_inflight_window(fast=True)
+        latencies = [float(r["ndp_ms"]) for r in result.rows]
+        # Tiny windows starve flash; large windows converge.
+        assert latencies[0] > latencies[-1] * 1.5
+        assert latencies[-2] == pytest.approx(latencies[-1], rel=0.25)
+
+
+class TestMultiSsd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_multi_ssd.run(fast=True)
+
+    def test_ndp_latency_scales_down_with_devices(self, result):
+        by_devices = {int(r["devices"]): float(r["ndp_ms"]) for r in result.rows}
+        assert by_devices[2] < by_devices[1] * 0.7
+        assert by_devices[4] < by_devices[2] * 0.7
+
+    def test_ndp_advantage_preserved_when_sharded(self, result):
+        for row in result.rows:
+            assert float(row["ndp_speedup"]) > 2.5

@@ -1,0 +1,33 @@
+"""Device calibration targets from DESIGN.md, measured on the assembled
+device (these are the ranges the paper's prototype establishes)."""
+
+import pytest
+
+from repro.experiments import calibration
+
+
+class TestCalibration:
+    def test_sequential_bandwidth_near_paper_envelope(self):
+        bw = calibration.measure_sequential_bandwidth(8 << 20)
+        # "maximum throughput with sequential read of just under 1.4GB/s"
+        assert 0.9e9 < bw < 1.45e9
+
+    def test_random_read_iops_matches_section_3_2(self):
+        iops = calibration.measure_random_iops(1500)
+        # "10K IOPS ... random read bandwidth on SSD" (command-bound stack)
+        assert 8_000 < iops < 20_000
+
+    def test_page_read_latency_range(self):
+        latency = calibration.measure_page_read_latency()
+        # "Single page access latencies are in the 10s to 100s of
+        # microseconds range"
+        assert 20e-6 < latency < 500e-6
+
+    def test_run_produces_all_metrics(self):
+        result = calibration.run(fast=True)
+        metrics = {r["metric"] for r in result.rows}
+        assert metrics == {
+            "sequential_read_GB_s",
+            "random_read_iops",
+            "page_read_latency_us",
+        }

@@ -1,0 +1,74 @@
+"""Flash geometry: PPN codec, capacity math, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash.geometry import FlashGeometry, PhysAddr
+
+GEO = FlashGeometry(channels=4, ways=2, blocks_per_die=8, pages_per_block=16,
+                    page_bytes=4096)
+
+
+class TestDerived:
+    def test_capacity(self):
+        assert GEO.dies == 8
+        assert GEO.total_blocks == 64
+        assert GEO.total_pages == 1024
+        assert GEO.capacity_bytes == 1024 * 4096
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(channels=0)
+
+
+@given(
+    channel=st.integers(0, GEO.channels - 1),
+    way=st.integers(0, GEO.ways - 1),
+    block=st.integers(0, GEO.blocks_per_die - 1),
+    page=st.integers(0, GEO.pages_per_block - 1),
+)
+def test_ppn_roundtrip(channel, way, block, page):
+    addr = PhysAddr(channel, way, block, page)
+    assert GEO.addr(GEO.ppn(addr)) == addr
+
+
+@given(ppn=st.integers(0, GEO.total_pages - 1))
+def test_addr_roundtrip(ppn):
+    assert GEO.ppn(GEO.addr(ppn)) == ppn
+
+
+@given(block_id=st.integers(0, GEO.total_blocks - 1))
+def test_block_roundtrip(block_id):
+    channel, way, block = GEO.block_addr(block_id)
+    assert GEO.block_id(channel, way, block) == block_id
+    first = GEO.first_ppn_of_block(block_id)
+    addr = GEO.addr(first)
+    assert (addr.channel, addr.way, addr.block, addr.page) == (channel, way, block, 0)
+
+
+class TestBounds:
+    def test_ppn_out_of_range(self):
+        with pytest.raises(ValueError):
+            GEO.addr(GEO.total_pages)
+        with pytest.raises(ValueError):
+            GEO.addr(-1)
+
+    def test_bad_phys_addr(self):
+        with pytest.raises(ValueError):
+            GEO.ppn(PhysAddr(GEO.channels, 0, 0, 0))
+        with pytest.raises(ValueError):
+            GEO.ppn(PhysAddr(0, 0, 0, GEO.pages_per_block))
+
+    def test_block_id_out_of_range(self):
+        with pytest.raises(ValueError):
+            GEO.block_addr(GEO.total_blocks)
+
+
+def test_ppns_dense_and_unique():
+    seen = set()
+    for ch in range(GEO.channels):
+        for w in range(GEO.ways):
+            for b in range(GEO.blocks_per_die):
+                for p in range(GEO.pages_per_block):
+                    seen.add(GEO.ppn(PhysAddr(ch, w, b, p)))
+    assert seen == set(range(GEO.total_pages))

@@ -1,0 +1,124 @@
+"""Flash reliability: read retries and uncorrectable-error injection."""
+
+import numpy as np
+import pytest
+
+from repro.flash.array import FlashArray
+from repro.flash.geometry import FlashGeometry
+from repro.flash.reliability import (
+    ReadRetryModel,
+    ReliabilityConfig,
+    UncorrectableError,
+)
+from repro.flash.timing import FlashTiming
+from repro.sim.kernel import Simulator
+
+GEO = FlashGeometry(channels=1, ways=1, blocks_per_die=4, pages_per_block=8,
+                    page_bytes=4096)
+
+
+class TestRetryModel:
+    def test_zero_probability_never_retries(self):
+        model = ReadRetryModel(ReliabilityConfig())
+        for _ in range(100):
+            assert model.retries_for_read() == 0
+        assert model.retry_rate == 0.0
+
+    def test_retry_statistics(self):
+        model = ReadRetryModel(
+            ReliabilityConfig(read_fail_probability=0.3, max_read_retries=10, seed=1)
+        )
+        total = 0
+        for _ in range(3000):
+            total += model.retries_for_read()
+        # Geometric mean retries = p / (1 - p) ~ 0.43.
+        assert total / 3000 == pytest.approx(0.43, abs=0.06)
+
+    def test_uncorrectable_raised(self):
+        model = ReadRetryModel(
+            ReliabilityConfig(read_fail_probability=0.9, max_read_retries=1, seed=0)
+        )
+        with pytest.raises(UncorrectableError):
+            for _ in range(100):
+                model.retries_for_read()
+        assert model.uncorrectable >= 1
+
+    def test_deterministic_by_seed(self):
+        def draw(seed):
+            model = ReadRetryModel(
+                ReliabilityConfig(read_fail_probability=0.4, max_read_retries=20, seed=seed)
+            )
+            return [model.retries_for_read() for _ in range(50)]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(read_fail_probability=1.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_read_retries=-1)
+
+
+class TestArrayWithRetries:
+    def test_retries_lengthen_reads(self, sim):
+        clean = FlashArray(sim, GEO, FlashTiming())
+        done = []
+        clean.read(0, lambda c: done.append(sim.now))
+        sim.run()
+        clean_latency = done[0]
+
+        sim2 = Simulator()
+        flaky = FlashArray(
+            sim2, GEO, FlashTiming(),
+            ReliabilityConfig(read_fail_probability=0.6, max_read_retries=50, seed=3),
+        )
+        times = []
+        for i in range(20):
+            flaky.read(i % 8, lambda c, s=sim2: times.append(s.now))
+        sim2.run()
+        # Serial on one die: average service time must exceed the clean one.
+        per_read = times[-1] / len(times)
+        assert per_read > clean_latency
+        assert flaky.reliability.retries > 0
+
+    def test_uncorrectable_read_returns_none(self, sim):
+        flaky = FlashArray(
+            sim, GEO, FlashTiming(),
+            ReliabilityConfig(read_fail_probability=0.95, max_read_retries=0, seed=0),
+        )
+        flaky.store.install(0, b"data")
+        got = []
+        for _ in range(20):
+            flaky.read(0, got.append)
+        sim.run()
+        assert None in got
+        assert flaky.uncorrectable_reads >= 1
+
+    def test_sls_survives_flaky_flash(self):
+        """NDP over a flaky (but correctable) flash still returns exact data."""
+        from repro.embedding.backends import NdpSlsBackend
+        from repro.embedding.spec import Layout, TableSpec
+        from repro.embedding.table import EmbeddingTable
+        from repro.host.system import System
+        from repro.ssd.presets import cosmos_plus_config
+
+        from dataclasses import replace
+
+        config = cosmos_plus_config(min_capacity_pages=1 << 13)
+        config = replace(
+            config,
+            reliability=ReliabilityConfig(
+                read_fail_probability=0.2, max_read_retries=50, seed=5
+            ),
+        )
+        system = System(config)
+        table = EmbeddingTable(
+            TableSpec("flaky", rows=512, dim=8, layout=Layout.ONE_PER_PAGE), seed=2
+        )
+        table.attach(system.device)
+        rng = np.random.default_rng(0)
+        bags = [rng.integers(0, 512, size=10) for _ in range(8)]
+        result = NdpSlsBackend(system, table).run_sync(bags)
+        assert np.allclose(result.values, table.ref_sls(bags), rtol=1e-5, atol=1e-6)
+        assert system.device.flash.reliability.retries > 0

@@ -1,0 +1,117 @@
+"""Flash store: NAND program/erase semantics, regions."""
+
+import numpy as np
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.store import FlashStore, FlashStoreError
+
+GEO = FlashGeometry(channels=2, ways=2, blocks_per_die=4, pages_per_block=8,
+                    page_bytes=512)
+
+
+@pytest.fixture
+def store():
+    return FlashStore(GEO)
+
+
+class FakeRegion:
+    def __init__(self, page_count):
+        self.page_count = page_count
+
+    def page_content(self, offset):
+        if 0 <= offset < self.page_count:
+            return f"page-{offset}"
+        return None
+
+
+class TestProgramErase:
+    def test_program_read_roundtrip(self, store):
+        store.program(0, b"hello")
+        assert store.read(0) == b"hello"
+        assert store.is_programmed(0)
+        assert store.read(1) is None
+
+    def test_double_program_rejected(self, store):
+        store.program(0, b"a")
+        with pytest.raises(FlashStoreError):
+            store.program(0, b"b")
+
+    def test_out_of_order_program_rejected(self, store):
+        store.program(0, b"a")
+        with pytest.raises(FlashStoreError):
+            store.program(2, b"c")  # page 1 skipped
+
+    def test_erase_allows_reprogram(self, store):
+        store.program(0, b"a")
+        store.program(1, b"b")
+        dropped = store.erase_block(0)
+        assert dropped == 2
+        assert store.read(0) is None
+        store.program(0, b"again")
+        assert store.read(0) == b"again"
+
+    def test_sequential_across_blocks_independent(self, store):
+        first_of_block1 = GEO.first_ppn_of_block(1)
+        store.program(first_of_block1, b"x")
+        assert store.block_write_point(1) == 1
+        assert store.block_write_point(0) == 0
+
+    def test_program_count(self, store):
+        store.program(0, b"a")
+        store.program(1, b"b")
+        assert store.program_count == 2
+        store.erase_block(0)
+        assert store.erase_count == 1
+
+
+class TestInstall:
+    def test_install_bypasses_order(self, store):
+        store.install(5, b"direct")
+        assert store.read(5) == b"direct"
+
+    def test_install_over_programmed_rejected(self, store):
+        store.program(0, b"a")
+        with pytest.raises(FlashStoreError):
+            store.install(0, b"b")
+
+
+class TestRegions:
+    def test_region_serves_pages(self, store):
+        store.install_region(0, FakeRegion(GEO.pages_per_block), 0)
+        assert store.read(0) == "page-0"
+        assert store.read(7) == "page-7"
+        assert store.is_programmed(3)
+
+    def test_region_with_offset_and_stride(self, store):
+        store.install_region(1, FakeRegion(100), first_offset=10, stride=4)
+        first = GEO.first_ppn_of_block(1)
+        assert store.read(first) == "page-10"
+        assert store.read(first + 1) == "page-14"
+
+    def test_region_erase(self, store):
+        store.install_region(0, FakeRegion(8), 0)
+        store.erase_block(0)
+        assert store.read(0) is None
+        store.program(0, b"new")
+        assert store.read(0) == b"new"
+
+    def test_region_over_programmed_block_rejected(self, store):
+        store.program(0, b"a")
+        with pytest.raises(FlashStoreError):
+            store.install_region(0, FakeRegion(8), 0)
+
+    def test_double_region_rejected(self, store):
+        store.install_region(0, FakeRegion(8), 0)
+        with pytest.raises(FlashStoreError):
+            store.install_region(0, FakeRegion(8), 0)
+
+    def test_program_into_region_block_rejected(self, store):
+        store.install_region(0, FakeRegion(8), 0)
+        with pytest.raises(FlashStoreError):
+            store.program(0, b"x")
+
+    def test_programmed_pages_counts_regions(self, store):
+        store.install_region(0, FakeRegion(8), 0)
+        store.program(GEO.first_ppn_of_block(1), b"y")
+        assert store.programmed_pages == GEO.pages_per_block + 1

@@ -1,0 +1,146 @@
+"""GreedyFtl foreground paths, preload, and timing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.ssd.presets import small_ssd
+
+
+@pytest.fixture
+def device(sim):
+    return small_ssd(sim)
+
+
+def write_page_sync(sim, ftl, lpn, content):
+    done = []
+    ftl.write_page(lpn, content, lambda: done.append(sim.now))
+    sim.run_until(lambda: bool(done))
+    return done[0]
+
+
+def read_page_sync(sim, ftl, lpn):
+    result = []
+    ftl.read_page(lpn, lambda content, hit: result.append((content, hit, sim.now)))
+    sim.run_until(lambda: bool(result))
+    return result[0]
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, sim, device):
+        ftl = device.ftl
+        payload = np.arange(ftl.page_bytes, dtype=np.uint8)
+        write_page_sync(sim, ftl, 7, payload)
+        content, hit, _t = read_page_sync(sim, ftl, 7)
+        assert hit  # write inserted into page cache
+        assert np.array_equal(content, payload)
+
+    def test_unmapped_read_returns_none(self, sim, device):
+        content, hit, _t = read_page_sync(sim, device.ftl, 3)
+        assert content is None
+
+    def test_cache_hit_faster_than_miss(self, sim, device):
+        ftl = device.ftl
+        write_page_sync(sim, ftl, 1, np.zeros(ftl.page_bytes, dtype=np.uint8))
+        # Flush cache to force a miss.
+        ftl.page_cache.invalidate(1)
+        t0 = sim.now
+        _c, hit_miss, t_miss = read_page_sync(sim, ftl, 1)
+        assert not hit_miss
+        miss_latency = t_miss - t0
+        t1 = sim.now
+        _c, hit_hit, t_hit = read_page_sync(sim, ftl, 1)
+        assert hit_hit
+        assert (t_hit - t1) < miss_latency / 2
+
+    def test_overwrite_remaps(self, sim, device):
+        ftl = device.ftl
+        a = np.full(ftl.page_bytes, 1, dtype=np.uint8)
+        b = np.full(ftl.page_bytes, 2, dtype=np.uint8)
+        write_page_sync(sim, ftl, 0, a)
+        first_ppn = ftl.mapping.lookup(0)
+        write_page_sync(sim, ftl, 0, b)
+        second_ppn = ftl.mapping.lookup(0)
+        assert first_ppn != second_ppn
+        content, _hit, _t = read_page_sync(sim, ftl, 0)
+        assert content[0] == 2
+
+    def test_trim(self, sim, device):
+        ftl = device.ftl
+        write_page_sync(sim, ftl, 2, np.zeros(ftl.page_bytes, dtype=np.uint8))
+        ftl.trim_page(2)
+        content, _hit, _t = read_page_sync(sim, ftl, 2)
+        assert content is None
+        ftl.mapping.check_consistency()
+
+
+class TestPreload:
+    class Region:
+        def __init__(self, n):
+            self.page_count = n
+
+        def page_content(self, offset):
+            return ("virt", offset)
+
+    def test_preload_region_maps_all_pages(self, sim, device):
+        ftl = device.ftl
+        n = 3 * ftl.geometry.pages_per_block + 5
+        assert ftl.preload_region(0, self.Region(n)) == n
+        for lpn in (0, 1, n // 2, n - 1):
+            content, _hit, _t = read_page_sync(sim, ftl, lpn)
+            assert content == ("virt", lpn)
+        ftl.mapping.check_consistency()
+
+    def test_preload_stripes_across_dies(self, sim, device):
+        ftl = device.ftl
+        dies = ftl.geometry.dies
+        n = dies * 4
+        ftl.preload_region(0, self.Region(n))
+        used_dies = set()
+        for lpn in range(dies):
+            ppn = ftl.mapping.lookup(lpn)
+            addr = ftl.geometry.addr(ppn)
+            used_dies.add(ftl.geometry.die_index(addr.channel, addr.way))
+        assert used_dies == set(range(dies))
+
+    def test_consecutive_lpns_on_different_dies(self, sim, device):
+        ftl = device.ftl
+        ftl.preload_region(0, self.Region(ftl.geometry.dies * 2))
+        a = ftl.geometry.addr(ftl.mapping.lookup(0))
+        b = ftl.geometry.addr(ftl.mapping.lookup(1))
+        die_a = ftl.geometry.die_index(a.channel, a.way)
+        die_b = ftl.geometry.die_index(b.channel, b.way)
+        assert die_a != die_b
+
+    def test_preload_beyond_logical_space_rejected(self, sim, device):
+        ftl = device.ftl
+        with pytest.raises(ValueError):
+            ftl.preload_region(0, self.Region(ftl.logical_pages + 1))
+
+    def test_ndp_read_of_preloaded_page(self, sim, device):
+        ftl = device.ftl
+        ftl.preload_region(0, self.Region(4))
+        got = []
+        ftl.ndp_read_mapped_page(2, got.append)
+        sim.run_until(lambda: bool(got))
+        assert got[0] == ("virt", 2)
+
+    def test_ndp_read_unmapped_returns_none(self, sim, device):
+        got = []
+        device.ftl.ndp_read_mapped_page(9, got.append)
+        sim.run_until(lambda: bool(got))
+        assert got == [None]
+
+
+class TestAddressHelpers:
+    def test_lpn_range_for_lbas(self, device):
+        ftl = device.ftl
+        lbas_per_page = ftl.lbas_per_page
+        assert list(ftl.lpn_range_for_lbas(0, 1)) == [0]
+        spanning = list(ftl.lpn_range_for_lbas(lbas_per_page - 1, 2))
+        assert spanning == [0, 1]
+
+    def test_logical_sizing(self, device):
+        ftl = device.ftl
+        assert ftl.logical_pages < ftl.geometry.total_pages
+        assert ftl.logical_lbas == ftl.logical_pages * ftl.lbas_per_page

@@ -1,0 +1,137 @@
+"""Mapping table invariants, including a property-based operation fuzz."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.mapping import UNMAPPED, MappingTable
+
+GEO = FlashGeometry(channels=2, ways=2, blocks_per_die=4, pages_per_block=8,
+                    page_bytes=512)
+
+
+@pytest.fixture
+def table():
+    return MappingTable(GEO, logical_pages=96)
+
+
+class TestBasics:
+    def test_unmapped_by_default(self, table):
+        assert table.lookup(0) == UNMAPPED
+        assert not table.is_mapped(0)
+        assert table.mapped_count == 0
+
+    def test_map_and_lookup(self, table):
+        assert table.map(3, 17) == UNMAPPED
+        assert table.lookup(3) == 17
+        assert table.reverse(17) == 3
+        assert table.valid_pages_in_block(17 // GEO.pages_per_block) == 1
+
+    def test_remap_invalidates_old(self, table):
+        table.map(3, 17)
+        old = table.map(3, 42)
+        assert old == 17
+        assert table.reverse(17) == UNMAPPED
+        assert table.lookup(3) == 42
+        assert table.valid_pages_in_block(17 // GEO.pages_per_block) == 0
+
+    def test_map_to_occupied_ppn_rejected(self, table):
+        table.map(1, 9)
+        with pytest.raises(ValueError):
+            table.map(2, 9)
+
+    def test_unmap(self, table):
+        table.map(5, 20)
+        assert table.unmap(5) == 20
+        assert table.lookup(5) == UNMAPPED
+        assert table.reverse(20) == UNMAPPED
+
+    def test_bounds(self, table):
+        with pytest.raises(IndexError):
+            table.map(96, 0)
+        with pytest.raises(IndexError):
+            table.map(0, GEO.total_pages)
+
+    def test_logical_larger_than_physical_rejected(self):
+        with pytest.raises(ValueError):
+            MappingTable(GEO, logical_pages=GEO.total_pages + 1)
+
+    def test_valid_lpns_in_block(self, table):
+        table.map(1, 0)
+        table.map(2, 1)
+        table.map(50, 9)
+        assert sorted(table.valid_lpns_in_block(0)) == [1, 2]
+        assert table.valid_lpns_in_block(1) == [50]
+
+    def test_min_valid_block(self, table):
+        table.map(0, 0)
+        table.map(1, 1)
+        table.map(2, 8)  # block 1 has one valid page
+        assert table.min_valid_block([0, 1]) == 1
+
+
+class TestBulkMap:
+    def test_bulk_map_contiguous(self, table):
+        ppns = np.arange(8, 16, dtype=np.int64)
+        table.bulk_map(10, ppns)
+        for i, ppn in enumerate(ppns):
+            assert table.lookup(10 + i) == ppn
+            assert table.reverse(int(ppn)) == 10 + i
+        table.check_consistency()
+
+    def test_bulk_map_pairs_strided(self, table):
+        lpns = np.array([0, 4, 8, 12], dtype=np.int64)
+        ppns = np.array([3, 2, 1, 0], dtype=np.int64)
+        table.bulk_map_pairs(lpns, ppns)
+        assert table.lookup(4) == 2
+        table.check_consistency()
+
+    def test_bulk_map_rejects_overlap(self, table):
+        table.map(10, 5)
+        with pytest.raises(ValueError):
+            table.bulk_map(10, np.array([6], dtype=np.int64))
+        with pytest.raises(ValueError):
+            table.bulk_map(20, np.array([5], dtype=np.int64))
+
+    def test_bulk_map_bounds(self, table):
+        with pytest.raises(IndexError):
+            table.bulk_map(95, np.array([1, 2], dtype=np.int64))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["map", "unmap"]),
+            st.integers(0, 95),
+            st.integers(0, GEO.total_pages - 1),
+        ),
+        max_size=60,
+    )
+)
+def test_mapping_consistency_under_random_ops(ops):
+    table = MappingTable(GEO, logical_pages=96)
+    shadow = {}
+    used_ppns = set()
+    for op, lpn, ppn in ops:
+        if op == "map":
+            if ppn in used_ppns and shadow.get(lpn) != ppn:
+                with pytest.raises(ValueError):
+                    table.map(lpn, ppn)
+                continue
+            if shadow.get(lpn) == ppn:
+                continue  # remap to same ppn is rejected (ppn occupied)
+            old = table.map(lpn, ppn)
+            assert old == shadow.get(lpn, UNMAPPED)
+            used_ppns.discard(shadow.get(lpn))
+            shadow[lpn] = ppn
+            used_ppns.add(ppn)
+        else:
+            old = table.unmap(lpn)
+            assert old == shadow.pop(lpn, UNMAPPED)
+            used_ppns.discard(old)
+    for lpn, ppn in shadow.items():
+        assert table.lookup(lpn) == ppn
+    assert table.mapped_count == len(shadow)
+    table.check_consistency()

@@ -1,0 +1,108 @@
+"""Host CPU cost model and multi-device system assembly."""
+
+import numpy as np
+import pytest
+
+from repro.host.cpu import HostCpu, HostCpuConfig
+from repro.host.system import System, build_system
+from repro.ssd.presets import cosmos_plus_config
+
+from ..conftest import make_table, random_bags
+
+
+class TestHostCpu:
+    def test_gemm_class_switch(self):
+        cpu = HostCpu(HostCpuConfig(gemm_small_flops=1e6))
+        # Small GEMM: rate = small gflops; large: large gflops.
+        small = cpu.gemm_time(10, 10, 10)
+        overhead = cpu.config.op_overhead_s
+        assert small - overhead == pytest.approx(
+            2 * 1000 / (cpu.config.gemm_gflops_small * 1e9)
+        )
+        large = cpu.gemm_time(1000, 1000, 1000)
+        assert large - overhead == pytest.approx(
+            2e9 / (cpu.config.gemm_gflops_large * 1e9)
+        )
+
+    def test_mlp_time_is_sum_of_layers(self):
+        cpu = HostCpu()
+        dims = [64, 128, 32]
+        expected = cpu.gemm_time(8, 128, 64) + cpu.gemm_time(8, 32, 128)
+        assert cpu.mlp_time(8, dims) == pytest.approx(expected)
+
+    def test_dram_sls_time_scales_with_bytes(self):
+        cpu = HostCpu()
+        t1 = cpu.dram_sls_time(1000, 128)
+        t2 = cpu.dram_sls_time(2000, 128)
+        assert t2 > t1
+        # Dominated by the ~1GB/s gather rate for large counts.
+        gather = 2000 * 128 / cpu.config.random_access_bytes_s
+        assert t2 == pytest.approx(gather, rel=0.5)
+
+    def test_gru_time_linear_in_seq(self):
+        cpu = HostCpu()
+        assert cpu.gru_time(4, 20, 32, 16) == pytest.approx(
+            2 * cpu.gru_time(4, 10, 32, 16), rel=1e-6
+        )
+
+    def test_accumulate_and_elementwise(self):
+        cpu = HostCpu()
+        assert cpu.accumulate_time(100, 128) > 0
+        assert cpu.elementwise_time(1 << 20) > cpu.elementwise_time(1 << 10)
+
+
+class TestMultiDeviceSystem:
+    def test_add_device_separate_stacks(self):
+        system = build_system(min_capacity_pages=1 << 14)
+        second = system.add_device(cosmos_plus_config(min_capacity_pages=1 << 14))
+        assert len(system.devices) == 2
+        assert system.driver_for(second) is not system.driver
+        assert system.session_for(second) is not system.ndp_session
+        assert second.sim is system.sim
+
+    def test_tables_on_separate_devices_independent(self):
+        from repro.embedding.backends import NdpSlsBackend
+
+        system = build_system(min_capacity_pages=1 << 14)
+        second = system.add_device(cosmos_plus_config(min_capacity_pages=1 << 14))
+        t1 = make_table(system, rows=256, dim=8, name="d1", seed=1)
+        from repro.embedding.spec import TableSpec
+        from repro.embedding.table import EmbeddingTable
+
+        t2 = EmbeddingTable(TableSpec("d2", rows=256, dim=8), seed=2)
+        t2.attach(second)
+        rng = np.random.default_rng(0)
+        bags = random_bags(rng, 256, 4, 5)
+        r1 = NdpSlsBackend(system, t1).run_sync(bags)
+        r2 = NdpSlsBackend(system, t2).run_sync(bags)
+        assert np.allclose(r1.values, t1.ref_sls(bags), rtol=1e-5, atol=1e-6)
+        assert np.allclose(r2.values, t2.ref_sls(bags), rtol=1e-5, atol=1e-6)
+        # Different seeds -> different table data -> different results.
+        assert not np.allclose(r1.values, r2.values)
+
+    def test_parallel_devices_faster_than_one(self):
+        """Two tables on two devices beat two tables on one device."""
+        from repro.embedding.backends import NdpSlsBackend
+        from repro.embedding.spec import TableSpec
+        from repro.embedding.stage import EmbeddingStage
+        from repro.embedding.table import EmbeddingTable
+
+        rng = np.random.default_rng(1)
+        bags = {f"t{i}": random_bags(rng, 4096, 16, 20) for i in range(2)}
+
+        def build(n_devices):
+            system = build_system(min_capacity_pages=1 << 14)
+            if n_devices == 2:
+                system.add_device(cosmos_plus_config(min_capacity_pages=1 << 14))
+            backends = {}
+            for i in range(2):
+                table = EmbeddingTable(
+                    TableSpec(f"t{i}", rows=4096, dim=16), seed=10 + i
+                )
+                table.attach(system.devices[i % n_devices])
+                backends[f"t{i}"] = NdpSlsBackend(system, table)
+            return EmbeddingStage(backends)
+
+        one = build(1).run_sync(bags).latency
+        two = build(2).run_sync(bags).latency
+        assert two < one

@@ -1,0 +1,99 @@
+"""Numpy NN layers: shapes, determinism, cost monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro.host.cpu import HostCpu
+from repro.models.layers import AttentionUnit, GruLayer, Mlp, relu, sigmoid
+
+
+@pytest.fixture
+def cpu():
+    return HostCpu()
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        x = np.linspace(-10, 10, 50)
+        y = sigmoid(x)
+        assert np.all((y > 0) & (y < 1))
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestMlp:
+    def test_shapes(self):
+        mlp = Mlp([8, 16, 4], np.random.default_rng(0))
+        out = mlp.forward(np.zeros((5, 8), dtype=np.float32))
+        assert out.shape == (5, 4)
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(1).standard_normal((3, 8)).astype(np.float32)
+        a = Mlp([8, 16, 2], np.random.default_rng(7)).forward(x)
+        b = Mlp([8, 16, 2], np.random.default_rng(7)).forward(x)
+        assert np.array_equal(a, b)
+
+    def test_relu_between_but_not_after_last(self):
+        rng = np.random.default_rng(0)
+        mlp = Mlp([4, 4], rng)
+        x = np.random.default_rng(2).standard_normal((100, 4)).astype(np.float32)
+        out = mlp.forward(x)
+        assert (out < 0).any()  # linear output layer can go negative
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            Mlp([8], np.random.default_rng(0))
+
+    def test_time_monotone_in_batch(self, cpu):
+        mlp = Mlp([64, 128, 32], np.random.default_rng(0))
+        assert mlp.time(64, cpu) > mlp.time(8, cpu) > 0
+
+
+class TestGru:
+    def test_shapes_and_state_propagation(self):
+        gru = GruLayer(8, 16, np.random.default_rng(0))
+        seq = np.random.default_rng(1).standard_normal((4, 5, 8)).astype(np.float32)
+        states = gru.forward(seq)
+        assert states.shape == (4, 5, 16)
+        # Different inputs at t=0 must change later states.
+        seq2 = seq.copy()
+        seq2[:, 0, :] += 1.0
+        states2 = gru.forward(seq2)
+        assert not np.allclose(states[:, -1], states2[:, -1])
+
+    def test_bounded_activations(self):
+        gru = GruLayer(4, 8, np.random.default_rng(0))
+        seq = np.random.default_rng(2).standard_normal((2, 20, 4)).astype(np.float32) * 5
+        states = gru.forward(seq)
+        assert np.all(np.abs(states) <= 1.0 + 1e-6)  # tanh-bounded cell
+
+    def test_time_scales_with_seq_len(self, cpu):
+        gru = GruLayer(8, 16, np.random.default_rng(0))
+        assert gru.time(4, 10, cpu) > gru.time(4, 5, cpu)
+
+
+class TestAttention:
+    def test_shapes(self):
+        att = AttentionUnit(8, 16, np.random.default_rng(0))
+        history = np.random.default_rng(1).standard_normal((3, 6, 8)).astype(np.float32)
+        cand = np.random.default_rng(2).standard_normal((3, 8)).astype(np.float32)
+        out = att.forward(history, cand)
+        assert out.shape == (3, 8)
+
+    def test_attention_weights_select_relevant(self):
+        """History items identical to the candidate should dominate."""
+        att = AttentionUnit(4, 32, np.random.default_rng(0))
+        cand = np.ones((1, 4), dtype=np.float32)
+        history = np.zeros((1, 3, 4), dtype=np.float32)
+        history[0, 1] = 1.0  # matches candidate
+        out = att.forward(history, cand)
+        # Output is a positive multiple of the matching vector direction.
+        assert np.argmax(np.abs(out[0])) in range(4)
+        assert np.linalg.norm(out) > 0
+
+    def test_time_positive(self, cpu):
+        att = AttentionUnit(8, 16, np.random.default_rng(0))
+        assert att.time(16, 8, cpu) > 0

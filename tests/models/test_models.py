@@ -1,0 +1,99 @@
+"""The eight benchmark models: structure, forward numerics, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.host.cpu import HostCpu
+from repro.models import MODEL_NAMES, build_model
+from repro.models.zoo import EMBEDDING_DOMINATED, MLP_DOMINATED, table_one
+
+
+@pytest.fixture
+def cpu():
+    return HostCpu()
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestEveryModel:
+    def test_forward_shapes_and_range(self, name, cpu):
+        model = build_model(name)
+        rng = np.random.default_rng(0)
+        batch = model.sample_batch(rng, 6)
+        emb = model.reference_emb(batch)
+        scores = model.forward(batch.dense, emb)
+        assert scores.shape == (6,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_forward_deterministic(self, name, cpu):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        m1 = build_model(name, seed=5)
+        m2 = build_model(name, seed=5)
+        b1 = m1.sample_batch(rng1, 4)
+        b2 = m2.sample_batch(rng2, 4)
+        s1 = m1.forward(b1.dense, m1.reference_emb(b1))
+        s2 = m2.forward(b2.dense, m2.reference_emb(b2))
+        assert np.array_equal(s1, s2)
+
+    def test_dense_time_positive_and_monotone(self, name, cpu):
+        model = build_model(name)
+        assert 0 < model.dense_time(1, cpu) < model.dense_time(64, cpu)
+
+    def test_bag_layout(self, name, cpu):
+        model = build_model(name)
+        rng = np.random.default_rng(2)
+        batch = model.sample_batch(rng, 3)
+        for feature in model.features:
+            bags = batch.bags[feature.name]
+            if feature.sequence:
+                assert len(bags) == 3 * feature.lookups
+                assert all(b.size == 1 for b in bags)
+            else:
+                assert len(bags) == 3
+                assert all(b.size == feature.lookups for b in bags)
+
+    def test_ids_within_table(self, name, cpu):
+        model = build_model(name)
+        rng = np.random.default_rng(3)
+        batch = model.sample_batch(rng, 8)
+        for feature in model.features:
+            rows = feature.spec.rows
+            for bag in batch.bags[feature.name]:
+                assert bag.size == 0 or (bag.min() >= 0 and bag.max() < rows)
+
+
+class TestZoo:
+    def test_table_one_matches_models(self):
+        for entry in table_one():
+            model = build_model(entry.benchmark.lower())
+            assert model.table_count() == entry.table_count
+            assert {f.spec.dim for f in model.features} == {entry.feature_size}
+            assert {f.lookups for f in model.features} == {entry.indices}
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("nope")
+
+    def test_class_partition(self):
+        assert set(MODEL_NAMES) == set(MLP_DOMINATED) | set(EMBEDDING_DOMINATED)
+        assert not set(MLP_DOMINATED) & set(EMBEDDING_DOMINATED)
+
+    def test_embedding_dominated_have_more_lookups(self, cpu):
+        min_emb = min(
+            build_model(n).lookups_per_sample() for n in EMBEDDING_DOMINATED
+        )
+        max_mlp = max(build_model(n).lookups_per_sample() for n in MLP_DOMINATED)
+        assert min_emb > max_mlp
+
+    def test_table_rows_override(self):
+        model = build_model("rm1", table_rows=1024)
+        assert all(f.spec.rows == 1024 for f in model.features)
+
+    def test_custom_sampler_used(self):
+        model = build_model("rm3")
+        rng = np.random.default_rng(0)
+        fixed = {f.name: (lambda n: np.zeros(n, dtype=np.int64)) for f in model.features}
+        batch = model.sample_batch(rng, 2, samplers=fixed)
+        for f in model.features:
+            for bag in batch.bags[f.name]:
+                assert np.all(bag == 0)

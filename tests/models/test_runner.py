@@ -1,0 +1,124 @@
+"""ModelRunner: backend wiring, output consistency, stats."""
+
+import numpy as np
+import pytest
+
+from repro.models import BackendKind, ModelRunner, RunnerConfig, build_model
+from repro.models.dlrm import DlrmConfig, DlrmModel
+
+
+def tiny_model(seed=0):
+    return DlrmModel(
+        DlrmConfig(
+            name="tiny", dense_in=8, bottom_mlp=(16,), top_mlp=(16,),
+            num_tables=2, table_rows=256, dim=8, lookups=4,
+        ),
+        seed=seed,
+    )
+
+
+def make_batches(n, batch_size, seed=1):
+    rng = np.random.default_rng(seed)
+    return [tiny_model().sample_batch(rng, batch_size) for _ in range(n)]
+
+
+class TestRunner:
+    def test_outputs_identical_across_backends(self):
+        batches = make_batches(2, 4)
+        results = {}
+        for kind in BackendKind:
+            runner = ModelRunner(tiny_model(), RunnerConfig(kind=kind))
+            results[kind] = runner.run_batches(batches)
+        ref = results[BackendKind.DRAM].outputs
+        for kind in (BackendKind.SSD, BackendKind.NDP):
+            for a, b in zip(ref, results[kind].outputs):
+                assert np.allclose(a, b, rtol=1e-4, atol=1e-5), kind
+
+    def test_dram_runner_does_not_attach_tables(self):
+        model = tiny_model()
+        ModelRunner(model, RunnerConfig(kind=BackendKind.DRAM))
+        assert not any(t.attached for t in model.tables.values())
+
+    def test_ssd_runner_attaches_tables(self):
+        model = tiny_model()
+        ModelRunner(model, RunnerConfig(kind=BackendKind.SSD))
+        assert all(t.attached for t in model.tables.values())
+
+    def test_host_cache_stats_exposed(self):
+        runner = ModelRunner(
+            tiny_model(),
+            RunnerConfig(kind=BackendKind.SSD, host_cache_entries=128),
+        )
+        batches = make_batches(3, 4)
+        runner.run_batches(batches)
+        assert 0.0 <= runner.host_cache_hit_rate() <= 1.0
+        assert runner.host_caches
+
+    def test_partition_requires_profile(self):
+        with pytest.raises(ValueError):
+            ModelRunner(
+                tiny_model(),
+                RunnerConfig(kind=BackendKind.NDP, partition_entries=16),
+            )
+
+    def test_partition_with_profiles(self):
+        model = tiny_model()
+        profiles = {
+            f.name: [np.arange(16, dtype=np.int64)] for f in model.features
+        }
+        runner = ModelRunner(
+            model,
+            RunnerConfig(kind=BackendKind.NDP, partition_entries=16),
+            partition_profiles=profiles,
+        )
+        batches = make_batches(2, 4)
+        result = runner.run_batches(batches)
+        ref = ModelRunner(tiny_model(), RunnerConfig(kind=BackendKind.DRAM)).run_batches(
+            batches
+        )
+        for a, b in zip(ref.outputs, result.outputs):
+            assert np.allclose(a, b, rtol=1e-4, atol=1e-5)
+        assert 0.0 <= runner.partition_hit_rate() <= 1.0
+
+    def test_compute_outputs_flag(self):
+        runner = ModelRunner(
+            tiny_model(), RunnerConfig(kind=BackendKind.DRAM, compute_outputs=False)
+        )
+        result = runner.run_batches(make_batches(2, 4))
+        assert result.outputs == []
+        assert result.steady_latency > 0
+
+    def test_serial_slower_than_pipelined(self):
+        batches = make_batches(5, 16)
+        pipe = ModelRunner(
+            tiny_model(), RunnerConfig(kind=BackendKind.NDP, pipelined=True)
+        ).run_batches(batches)
+        serial = ModelRunner(
+            tiny_model(), RunnerConfig(kind=BackendKind.NDP, pipelined=False)
+        ).run_batches(batches)
+        assert pipe.steady_latency <= serial.steady_latency * 1.05
+
+    def test_prewarm_speeds_up_packed_tables(self):
+        from repro.embedding.spec import Layout
+        from repro.models.dlrm import DlrmConfig, DlrmModel
+
+        def packed_model():
+            return DlrmModel(
+                DlrmConfig(
+                    name="pk", dense_in=8, bottom_mlp=(16,), top_mlp=(16,),
+                    num_tables=2, table_rows=4096, dim=8, lookups=8,
+                    layout=Layout.PACKED,
+                ),
+                seed=3,
+            )
+
+        rng = np.random.default_rng(5)
+        batches = [packed_model().sample_batch(rng, 16) for _ in range(2)]
+        cold = ModelRunner(
+            packed_model(), RunnerConfig(kind=BackendKind.SSD)
+        ).run_batches(batches)
+        warm = ModelRunner(
+            packed_model(),
+            RunnerConfig(kind=BackendKind.SSD, prewarm_page_cache=True),
+        ).run_batches(batches)
+        assert warm.steady_latency < cold.steady_latency

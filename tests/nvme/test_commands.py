@@ -1,0 +1,56 @@
+"""NVMe command model and the SLBA request-id codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nvme.commands import NvmeCommand, Opcode, SlbaCodec
+
+
+class TestCommand:
+    def test_unique_cids(self):
+        a = NvmeCommand(opcode=Opcode.READ, slba=0, nlb=1)
+        b = NvmeCommand(opcode=Opcode.READ, slba=0, nlb=1)
+        assert a.cid != b.cid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NvmeCommand(opcode=Opcode.READ, slba=-1, nlb=1)
+        with pytest.raises(ValueError):
+            NvmeCommand(opcode=Opcode.READ, slba=0, nlb=0)
+
+    def test_flush_allows_zero_nlb(self):
+        NvmeCommand(opcode=Opcode.FLUSH, slba=0, nlb=0)
+
+    def test_ndp_flag_default_off(self):
+        cmd = NvmeCommand(opcode=Opcode.WRITE, slba=0, nlb=1)
+        assert not cmd.ndp
+
+
+class TestSlbaCodec:
+    def test_roundtrip_basic(self):
+        codec = SlbaCodec(1 << 14)
+        slba = codec.encode(3 << 14, 77)
+        assert codec.decode(slba) == (3 << 14, 77)
+
+    def test_unaligned_base_rejected(self):
+        codec = SlbaCodec(64)
+        with pytest.raises(ValueError):
+            codec.encode(65, 0)
+
+    def test_request_id_out_of_range(self):
+        codec = SlbaCodec(64)
+        with pytest.raises(ValueError):
+            codec.encode(64, 64)
+
+    def test_tiny_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            SlbaCodec(1)
+
+    @given(
+        base_multiple=st.integers(0, 1000),
+        request_id=st.integers(0, 4095),
+    )
+    def test_roundtrip_property(self, base_multiple, request_id):
+        codec = SlbaCodec(4096)
+        base = base_multiple * 4096
+        assert codec.decode(codec.encode(base, request_id)) == (base, request_id)

@@ -1,0 +1,148 @@
+"""Trace generators: the paper's K calibration, Zipf skew, analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.analysis import (
+    lru_page_hit_rate,
+    reuse_cdf,
+    rows_to_pages,
+    stack_distances,
+    unique_fraction,
+)
+from repro.traces.locality import LocalityTraceGenerator, unique_fraction_for_k
+from repro.traces.powerlaw import ZipfTraceGenerator
+
+
+class TestLocalityCalibration:
+    """Section 5: K = 0, 1, 2 -> 13%, 54%, 72% unique accesses."""
+
+    @pytest.mark.parametrize(
+        "k,target", [(0, 0.13), (1, 0.54), (2, 0.72)]
+    )
+    def test_unique_fraction(self, k, target):
+        gen = LocalityTraceGenerator(table_rows=1 << 20, k=k, seed=1)
+        trace = gen.generate(20_000)
+        measured = unique_fraction(trace)
+        assert measured == pytest.approx(target, abs=0.05)
+
+    def test_target_function(self):
+        assert unique_fraction_for_k(0) == pytest.approx(0.13, abs=0.01)
+        assert unique_fraction_for_k(1) == pytest.approx(0.54, abs=0.03)
+        assert unique_fraction_for_k(2) == pytest.approx(0.76, abs=0.05)
+
+    def test_higher_k_less_locality(self):
+        fractions = []
+        for k in (0, 1, 2):
+            gen = LocalityTraceGenerator(table_rows=1 << 18, k=k, seed=2)
+            fractions.append(unique_fraction(gen.generate(8000)))
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_lru_hit_rates_match_figure_10(self):
+        """84%/44%/28% host-LRU hits for K=0/1/2 (2K entries, 16-way)."""
+        targets = {0: 0.84, 1: 0.44, 2: 0.28}
+        for k, target in targets.items():
+            gen = LocalityTraceGenerator(table_rows=1 << 20, k=k, seed=3)
+            trace = gen.generate(20_000)
+            hit = lru_page_hit_rate(trace, capacity_pages=2048, ways=16)
+            assert hit == pytest.approx(target, abs=0.08), f"K={k}"
+
+
+class TestLocalityMechanics:
+    def test_deterministic_by_seed(self):
+        a = LocalityTraceGenerator(1000, k=1, seed=9).generate(500)
+        b = LocalityTraceGenerator(1000, k=1, seed=9).generate(500)
+        assert np.array_equal(a, b)
+
+    def test_rows_in_range(self):
+        gen = LocalityTraceGenerator(100, k=1, seed=0)
+        trace = gen.generate(1000)
+        assert trace.min() >= 0 and trace.max() < 100
+
+    def test_bounded_universe(self):
+        gen = LocalityTraceGenerator(1 << 20, k=2, seed=0, universe=64)
+        trace = gen.generate(5000)
+        assert np.unique(trace).size <= 64
+
+    def test_generate_bags_layout(self):
+        gen = LocalityTraceGenerator(1000, k=0, seed=0)
+        bags = gen.generate_bags(n_samples=4, lookups_per_sample=7)
+        assert len(bags) == 4
+        assert all(b.size == 7 for b in bags)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocalityTraceGenerator(0, k=0)
+        with pytest.raises(ValueError):
+            LocalityTraceGenerator(10, k=-1)
+        with pytest.raises(ValueError):
+            LocalityTraceGenerator(10, k=0, universe=11)
+
+
+class TestZipf:
+    def test_skew_concentrates_mass(self):
+        gen = ZipfTraceGenerator(10_000, alpha=1.2, seed=0)
+        trace = gen.generate(20_000)
+        _ids, counts = np.unique(trace, return_counts=True)
+        top = np.sort(counts)[::-1][:100].sum()
+        assert top / trace.size > 0.4
+
+    def test_higher_alpha_more_skew(self):
+        def top1_share(alpha):
+            gen = ZipfTraceGenerator(10_000, alpha=alpha, seed=1)
+            trace = gen.generate(10_000)
+            _ids, counts = np.unique(trace, return_counts=True)
+            return counts.max() / trace.size
+
+        assert top1_share(1.5) > top1_share(0.7)
+
+    def test_deterministic(self):
+        a = ZipfTraceGenerator(1000, 1.0, seed=4).generate(100)
+        b = ZipfTraceGenerator(1000, 1.0, seed=4).generate(100)
+        assert np.array_equal(a, b)
+
+    def test_bounds(self):
+        trace = ZipfTraceGenerator(50, 1.0, seed=0).generate(1000)
+        assert trace.min() >= 0 and trace.max() < 50
+
+
+class TestAnalysis:
+    def test_unique_fraction_edges(self):
+        assert unique_fraction(np.array([])) == 0.0
+        assert unique_fraction(np.array([1, 1, 1])) == pytest.approx(1 / 3)
+        assert unique_fraction(np.array([1, 2, 3])) == 1.0
+
+    def test_rows_to_pages(self):
+        pages = rows_to_pages(np.array([0, 1, 63, 64]), row_bytes=64, page_bytes=4096)
+        assert list(pages) == [0, 0, 0, 1]
+        with pytest.raises(ValueError):
+            rows_to_pages(np.array([0]), row_bytes=128, page_bytes=64)
+
+    def test_reuse_cdf_monotone_and_normalized(self):
+        trace = np.array([0] * 10 + [1] * 5 + list(range(2, 12)))
+        frac_pages, cum_hits = reuse_cdf(trace)
+        assert cum_hits[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cum_hits) >= 0)
+        assert frac_pages[-1] == pytest.approx(1.0)
+
+    def test_lru_hit_rate_extremes(self):
+        same = np.zeros(100, dtype=np.int64)
+        assert lru_page_hit_rate(same, 16) == pytest.approx(0.99)
+        distinct = np.arange(100)
+        assert lru_page_hit_rate(distinct, 16) == 0.0
+
+    @given(trace=st.lists(st.integers(0, 8), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_stack_distances_vs_bruteforce(self, trace):
+        got = stack_distances(trace)
+        # Brute-force: distance = number of distinct items since last access.
+        last_seen = {}
+        for i, item in enumerate(trace):
+            if item not in last_seen:
+                assert got[i] == -1
+            else:
+                between = set(trace[last_seen[item] + 1 : i])
+                between.discard(item)
+                assert got[i] == len(between)
+            last_seen[item] = i
