@@ -1,0 +1,174 @@
+"""Serving-layer benchmark: offered load vs. throughput and tail latency.
+
+Sweeps an open-loop Poisson arrival rate over the dram/ssd/ndp backends
+(the paper's three configurations) through the concurrent serving layer
+and reports throughput plus p50/p95/p99 request latency per load level —
+the latency-bounded-throughput framing of the serving problem.  Also
+checks the structural claim this layer exists for: under concurrent
+load, the NDP engine holds >=2 SLS requests in flight at once.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+or through pytest-benchmark with the rest of the bench suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import NdpEngineConfig
+from repro.host.system import build_system
+from repro.models.dlrm import DlrmConfig, DlrmModel
+from repro.models.runner import BackendKind, required_capacity_pages
+from repro.serving import InferenceServer, ServingConfig, run_offered_load
+
+try:
+    from conftest import run_once  # pytest-benchmark path (rootdir import)
+except ImportError:  # standalone `python benchmarks/...` run
+    run_once = None
+
+BACKENDS = (BackendKind.DRAM, BackendKind.SSD, BackendKind.NDP)
+OFFERED_RPS = (400.0, 1600.0, 6400.0)   # light, near-saturation, overload
+N_REQUESTS = 60
+BATCH_SIZE = 2
+SEED = 11
+
+
+def serving_model(seed: int = 1) -> DlrmModel:
+    """A small embedding-dominated DLRM so the sweep stays fast."""
+    return DlrmModel(
+        DlrmConfig(
+            name="serve-rm",
+            dense_in=16,
+            bottom_mlp=(32, 16),
+            top_mlp=(32, 16),
+            num_tables=2,
+            table_rows=8192,
+            dim=16,
+            lookups=16,
+        ),
+        seed=seed,
+    )
+
+
+def build_server(kind: BackendKind) -> InferenceServer:
+    model = serving_model()
+    system = build_system(
+        min_capacity_pages=required_capacity_pages(model),
+        ndp=NdpEngineConfig(queue_when_full=True),
+    )
+    server = InferenceServer(
+        system,
+        ServingConfig(max_batch_requests=4, max_inflight_batches_per_worker=2),
+    )
+    server.register_model(model, kind)
+    return server
+
+
+def run_sweep(
+    backends=BACKENDS,
+    offered_rps=OFFERED_RPS,
+    n_requests: int = N_REQUESTS,
+    batch_size: int = BATCH_SIZE,
+    seed: int = SEED,
+) -> List[Dict[str, float]]:
+    """One row per (backend, offered load): throughput + latency percentiles."""
+    rows: List[Dict[str, float]] = []
+    for kind in backends:
+        for rps in offered_rps:
+            server = build_server(kind)
+            stats = run_offered_load(
+                server,
+                {"serve-rm": rps},
+                n_requests=n_requests,
+                batch_size=batch_size,
+                seed=seed,
+            )
+            summary = stats.summary()
+            engine = server.system.device.ndp
+            rows.append(
+                {
+                    "backend": kind.value,
+                    "offered_rps": rps,
+                    "throughput_rps": summary["throughput_rps"],
+                    "p50_ms": summary["p50_ms"],
+                    "p95_ms": summary["p95_ms"],
+                    "p99_ms": summary["p99_ms"],
+                    "completed": summary["completed"],
+                    "rejected": summary["rejected"],
+                    "mean_batch_requests": summary["mean_batch_requests"],
+                    "ndp_max_concurrent": float(engine.max_concurrent_requests),
+                    "ndp_overlap_ms": engine.overlap_seconds * 1e3,
+                }
+            )
+    return rows
+
+
+def check_claims(rows: List[Dict[str, float]]) -> None:
+    """The qualitative shape the serving story rests on."""
+    by_backend: Dict[str, List[Dict[str, float]]] = {}
+    for row in rows:
+        by_backend.setdefault(row["backend"], []).append(row)
+    for kind, group in by_backend.items():
+        group.sort(key=lambda r: r["offered_rps"])
+        for row in group:
+            assert row["completed"] + row["rejected"] == N_REQUESTS, row
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
+        # Tail latency does not improve as offered load grows.
+        assert group[-1]["p99_ms"] >= group[0]["p99_ms"] * 0.9, group
+    # The acceptance bar: the NDP backend held >=2 SLS requests in flight.
+    ndp_peak = max(r["ndp_max_concurrent"] for r in by_backend["ndp"])
+    assert ndp_peak >= 2, f"NDP never overlapped SLS requests (peak={ndp_peak})"
+    assert max(r["ndp_overlap_ms"] for r in by_backend["ndp"]) > 0
+    # DRAM serves lighter tails than the COTS SSD path at every load.
+    for d_row, s_row in zip(by_backend["dram"], by_backend["ssd"]):
+        assert d_row["p99_ms"] <= s_row["p99_ms"], (d_row, s_row)
+
+
+def test_serving_throughput_tail_latency(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    benchmark.extra_info["experiment"] = "serving_throughput"
+    benchmark.extra_info["rows"] = [
+        {
+            k: row[k]
+            for k in (
+                "backend",
+                "offered_rps",
+                "throughput_rps",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "ndp_max_concurrent",
+            )
+        }
+        for row in rows
+    ]
+    check_claims(rows)
+
+
+def main() -> None:
+    rows = run_sweep()
+    header = (
+        f"{'backend':8} {'offered':>9} {'tput':>9} {'p50':>8} {'p95':>8} "
+        f"{'p99':>8} {'rej':>4} {'ndp_conc':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['backend']:8} {row['offered_rps']:>7.0f}/s "
+            f"{row['throughput_rps']:>7.0f}/s {row['p50_ms']:>6.2f}ms "
+            f"{row['p95_ms']:>6.2f}ms {row['p99_ms']:>6.2f}ms "
+            f"{row['rejected']:>4.0f} {row['ndp_max_concurrent']:>8.0f}"
+        )
+    check_claims(rows)
+    print("\nall serving-shape claims hold "
+          "(NDP overlapped >=2 SLS requests in flight)")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,17 @@ class NdpEngineConfig:
     process_chunk_pairs: int = 512         # config-processing CPU granularity
     embcache_slots: int = 0                # 0 disables the SSD-side cache
     use_page_cache: bool = True            # step 3b fast path
+    # When the entry buffer is full, hold further config-write commands
+    # device-side (the NVMe command stays outstanding, so queue depth
+    # provides natural backpressure) instead of failing them.  Serving
+    # workloads enable this; the default preserves the prototype's
+    # reject-on-overflow behaviour.
+    queue_when_full: bool = False
+    # Bound on commands held by queue_when_full; beyond it the engine
+    # rejects again.  Held commands occupy driver qpair slots, so this
+    # must stay below the aggregate queue depth (default 8x64) or the
+    # result reads that free entries can never issue.
+    max_queued_configs: int = 64
 
 
 class NdpSlsEngine:
@@ -75,9 +86,20 @@ class NdpSlsEngine:
         # Round-robin feed order across entries with pending pages.
         self._feed_queue: Deque[SlsRequestEntry] = deque()
         self._inflight_pages = 0
+        # Config-writes held while the entry buffer is full (queue_when_full).
+        self._waiting_configs: Deque[tuple[NvmeCommand, CompleteFn]] = deque()
+        self._waiting_rids: set[int] = set()
         self.requests_started = 0
         self.requests_completed = 0
         self.requests_rejected = 0
+        self.requests_queued = 0
+        # Concurrency accounting: how many SLS requests coexist in the
+        # entry buffer, and for how long >=2 of them overlapped.
+        self.max_concurrent_requests = 0
+        self.requests_overlapped = 0
+        self.overlap_seconds = 0.0
+        self._active_prev = 0
+        self._active_since = sim.now
 
     # ------------------------------------------------------------------
     # Config-write half (steps 1a, 2a/2b)
@@ -91,24 +113,48 @@ class NdpSlsEngine:
         if table_base_lba != sls_config.table_base_lba:
             done(None, Status.INVALID_FIELD)
             return
-        if request_id in self.entries or len(self.entries) >= self.config.max_entries:
-            self.requests_rejected += 1
-            done(None, Status.INTERNAL_ERROR)
-            return
         lbas_per_page = self.ftl.lbas_per_page
         if table_base_lba % lbas_per_page != 0:
             done(None, Status.INVALID_FIELD)
             return
+        if request_id in self.entries or request_id in self._waiting_rids:
+            self.requests_rejected += 1
+            done(None, Status.INTERNAL_ERROR)
+            return
+        if len(self.entries) >= self.config.max_entries:
+            if (
+                self.config.queue_when_full
+                and len(self._waiting_configs) < self.config.max_queued_configs
+            ):
+                # Hold the command device-side; it completes (and processing
+                # begins) once a buffer slot frees.  The outstanding NVMe
+                # command backpressures the host through queue depth.
+                self.requests_queued += 1
+                self._waiting_rids.add(request_id)
+                self._waiting_configs.append((cmd, done))
+                return
+            self.requests_rejected += 1
+            done(None, Status.INTERNAL_ERROR)
+            return
+        self._admit(sls_config, request_id, table_base_lba // lbas_per_page, done)
 
+    def _admit(
+        self,
+        sls_config: SlsConfig,
+        request_id: int,
+        table_base_lpn: int,
+        done: CompleteFn,
+    ) -> None:
         entry = SlsRequestEntry(
             request_id=request_id,
             config=sls_config,
-            table_base_lpn=table_base_lba // lbas_per_page,
+            table_base_lpn=table_base_lpn,
             t_start=self.sim.now,
         )
         entry.init_scratchpad()
         self.entries[request_id] = entry
         self.requests_started += 1
+        self._account_active_change()
         costs = self.ftl.cpu.costs
 
         def after_alloc() -> None:
@@ -201,6 +247,39 @@ class NdpSlsEngine:
             finish_processing()
         else:
             run_chunk(0)
+
+    def _account_active_change(self) -> None:
+        """Update the overlap clock and concurrency gauges on entry add/remove."""
+        now = self.sim.now
+        if self._active_prev >= 2:
+            self.overlap_seconds += now - self._active_since
+        n = len(self.entries)
+        if n >= 2:
+            for e in self.entries.values():
+                if not e.overlapped:
+                    e.overlapped = True
+                    self.requests_overlapped += 1
+        if n > self.max_concurrent_requests:
+            self.max_concurrent_requests = n
+        self._active_prev = n
+        self._active_since = now
+
+    def _release_entry(self, request_id: int) -> None:
+        """Free a buffer slot and admit the oldest waiting config, if any."""
+        if self.entries.pop(request_id, None) is None:
+            return
+        self._account_active_change()
+        if self._waiting_configs and len(self.entries) < self.config.max_entries:
+            # Admit directly (already validated on arrival): re-entering
+            # handle_config_write could lose the freed slot to a
+            # same-timestamp arrival, re-queueing this command behind
+            # newer ones and double-counting requests_queued.
+            cmd, done = self._waiting_configs.popleft()
+            table_base_lba, rid = self.codec.decode(cmd.slba)
+            self._waiting_rids.discard(rid)
+            self._admit(
+                cmd.data, rid, table_base_lba // self.ftl.lbas_per_page, done
+            )
 
     def _interleave_by_channel(self, entry: SlsRequestEntry) -> None:
         """Reorder page work round-robin across flash channels.
@@ -354,7 +433,7 @@ class NdpSlsEngine:
 
         def deliver() -> None:
             if entry.state is SlsState.FAILED:
-                self.entries.pop(entry.request_id, None)
+                self._release_entry(entry.request_id)
                 done(None, Status.INVALID_FIELD)
                 return
             self._stage_results(entry, done)
@@ -374,7 +453,7 @@ class NdpSlsEngine:
             self.controller.dma_to_host(cfg.result_bytes, after_dma)
 
         def after_dma() -> None:
-            self.entries.pop(entry.request_id, None)
+            self._release_entry(entry.request_id)
             payload = SlsResultPayload(
                 values=entry.scratchpad,
                 breakdown=entry.breakdown(),

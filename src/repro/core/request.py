@@ -65,6 +65,7 @@ class SlsRequestEntry:
     result_waiters: List[Callable[[], None]] = field(default_factory=list)
 
     # Timing / accounting
+    overlapped: bool = False  # ever shared the buffer with another request
     t_start: float = 0.0
     t_config_written: float = 0.0
     t_processed: float = 0.0

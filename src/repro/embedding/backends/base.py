@@ -49,18 +49,40 @@ def flatten_bags(bags: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
 
 
 class SlsBackend(ABC):
-    """One table's SLS executor on a given system."""
+    """One table's SLS executor on a given system.
+
+    Any number of operations may be in flight at once; the backend tracks
+    ``inflight``/``max_inflight`` so callers (the serving layer, tests) can
+    observe genuine overlap in simulated time.
+    """
 
     def __init__(self, system: System, table: EmbeddingTable):
         self.system = system
         self.table = table
         self.ops = 0
+        self.inflight = 0
+        self.max_inflight = 0
 
-    @abstractmethod
     def start(
         self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]
     ) -> None:
         """Begin the operation; ``on_done(result)`` fires at completion."""
+        self.ops += 1
+        self.inflight += 1
+        if self.inflight > self.max_inflight:
+            self.max_inflight = self.inflight
+
+        def finished(result: SlsOpResult) -> None:
+            self.inflight -= 1
+            on_done(result)
+
+        self._start(bags, finished)
+
+    @abstractmethod
+    def _start(
+        self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]
+    ) -> None:
+        """Backend-specific implementation behind :meth:`start`."""
 
     def run_sync(self, bags: Sequence[np.ndarray]) -> SlsOpResult:
         box: List[SlsOpResult] = []

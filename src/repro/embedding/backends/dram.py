@@ -16,8 +16,7 @@ __all__ = ["DramSlsBackend"]
 class DramSlsBackend(SlsBackend):
     """Tables resident in host DRAM; latency from the host cost model."""
 
-    def start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
-        self.ops += 1
+    def _start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
         sim = self.system.sim
         start = sim.now
         rows, _rids = flatten_bags(bags)

@@ -32,21 +32,24 @@ class NdpSlsBackend(SlsBackend):
         self.partition = partition
 
     # ------------------------------------------------------------------
-    def start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
-        self.ops += 1
-        sim = self.system.sim
+    def _split_partition(
+        self,
+        bags: Sequence[np.ndarray],
+        partial: np.ndarray,
+        breakdown: Breakdown,
+        stats: Dict[str, float],
+    ) -> tuple[List[np.ndarray], float]:
+        """Host half of Section 4.2: sum profiled-hot rows host-side.
+
+        Fills ``partial`` with the per-result hot sums and returns the cold
+        remainder bags plus the host CPU time the split cost.
+        """
         host_cpu = self.system.host_cpu
         table = self.table
-        start = sim.now
-        breakdown = Breakdown()
-        stats: Dict[str, float] = {}
-        n_results = len(bags)
-        partial = np.zeros((n_results, table.spec.dim), dtype=np.float32)
-        host_cost = host_cpu.config.op_overhead_s
-
         cold_bags: List[np.ndarray] = []
         total_lookups = 0
         partition_hits = 0
+        host_cost = 0.0
         if self.partition is not None:
             for i, bag in enumerate(bags):
                 bag = np.asarray(bag, dtype=np.int64).reshape(-1)
@@ -62,21 +65,30 @@ class NdpSlsBackend(SlsBackend):
                     )
                     partition_hits += int(hot.size)
                 cold_bags.append(bag[~mask])
-            host_cost += host_cpu.accumulate_time(partition_hits, table.spec.row_bytes)
-            breakdown.add(
-                "host_partition",
-                host_cpu.accumulate_time(partition_hits, table.spec.row_bytes),
-            )
+            host_cost = host_cpu.accumulate_time(partition_hits, table.spec.row_bytes)
+            breakdown.add("host_partition", host_cost)
         else:
             cold_bags = [np.asarray(b, dtype=np.int64).reshape(-1) for b in bags]
             total_lookups = int(sum(b.size for b in cold_bags))
-
         stats["lookups"] = float(total_lookups)
         stats["partition_hits"] = float(partition_hits)
-        n_cold = int(sum(b.size for b in cold_bags))
-        stats["cold_lookups"] = float(n_cold)
+        stats["cold_lookups"] = float(sum(b.size for b in cold_bags))
+        return cold_bags, host_cost
 
-        if n_cold == 0:
+    def _start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
+        sim = self.system.sim
+        host_cpu = self.system.host_cpu
+        table = self.table
+        start = sim.now
+        breakdown = Breakdown()
+        stats: Dict[str, float] = {}
+        n_results = len(bags)
+        partial = np.zeros((n_results, table.spec.dim), dtype=np.float32)
+
+        cold_bags, split_cost = self._split_partition(bags, partial, breakdown, stats)
+        host_cost = host_cpu.config.op_overhead_s + split_cost
+
+        if stats["cold_lookups"] == 0:
             # Everything was served from the host partition.
             def finish_local() -> None:
                 on_done(

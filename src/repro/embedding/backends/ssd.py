@@ -37,8 +37,7 @@ class SsdSlsBackend(SlsBackend):
         self.max_coalesce_lbas = max_coalesce_lbas
 
     # ------------------------------------------------------------------
-    def start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
-        self.ops += 1
+    def _start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
         sim = self.system.sim
         driver = self.system.driver_for(self.table.device)
         host_cpu = self.system.host_cpu

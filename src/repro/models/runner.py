@@ -14,10 +14,17 @@ from ..embedding.backends import DramSlsBackend, NdpSlsBackend, SsdSlsBackend
 from ..embedding.caches import SetAssociativeLru, StaticPartitionCache
 from ..embedding.pipeline import InferencePipeline, PipelineResult
 from ..embedding.stage import EmbeddingStage, EmbStageResult
+from ..embedding.table import EmbeddingTable
 from ..host.system import System, build_system
 from .base import Batch, RecModel
 
-__all__ = ["BackendKind", "RunnerConfig", "ModelRunResult", "ModelRunner"]
+__all__ = [
+    "BackendKind",
+    "RunnerConfig",
+    "ModelRunResult",
+    "ModelRunner",
+    "build_backends",
+]
 
 
 class BackendKind(str, Enum):
@@ -69,6 +76,67 @@ def required_capacity_pages(model: RecModel, page_bytes: int = 16 * 1024) -> int
     return int(total * 1.3) + 64 * 1024
 
 
+def build_backends(
+    model: RecModel,
+    config: RunnerConfig,
+    system: System,
+    device=None,
+    tables: Optional[Dict[str, "EmbeddingTable"]] = None,
+    partition_profiles: Optional[Dict[str, List[np.ndarray]]] = None,
+) -> tuple[Dict[str, object], Dict[str, SetAssociativeLru], Dict[str, StaticPartitionCache]]:
+    """Construct one SLS backend per model table on ``system``.
+
+    ``device`` selects which attached SSD serves the tables (default: the
+    primary); ``tables`` substitutes replica tables (the serving layer
+    shards/replicates models across devices this way).  Returns
+    ``(backends, host_caches, partitions)``; the cache dicts are only
+    populated for the backend kinds that use them.
+    """
+    device = device if device is not None else system.device
+    tables = tables if tables is not None else model.tables
+    backends: Dict[str, object] = {}
+    host_caches: Dict[str, SetAssociativeLru] = {}
+    partitions: Dict[str, StaticPartitionCache] = {}
+    for feature in model.features:
+        table = tables[feature.name]
+        if config.kind is BackendKind.DRAM:
+            backends[feature.name] = DramSlsBackend(system, table)
+            continue
+        if not table.attached:
+            table.attach(device)
+        elif table.device is not device:
+            # Silent fallback would route traffic to wherever the table
+            # already lives (possibly another system), not to `device`.
+            raise ValueError(
+                f"table {feature.name!r} is already attached to a different "
+                f"device; pass replica tables (same spec/data) to place a "
+                f"model on multiple SSDs, and use one model instance per "
+                f"system"
+            )
+        if config.kind is BackendKind.SSD:
+            cache = None
+            if config.host_cache_entries > 0:
+                cache = SetAssociativeLru(config.host_cache_entries, ways=16)
+                host_caches[feature.name] = cache
+            backends[feature.name] = SsdSlsBackend(
+                system, table, host_cache=cache, coalesce=config.coalesce
+            )
+        else:
+            partition = None
+            if config.partition_entries > 0:
+                profile = (partition_profiles or {}).get(feature.name)
+                if profile is None:
+                    raise ValueError(
+                        f"partition requested but no profile for {feature.name}"
+                    )
+                partition = StaticPartitionCache.from_profile(
+                    table, profile, config.partition_entries
+                )
+                partitions[feature.name] = partition
+            backends[feature.name] = NdpSlsBackend(system, table, partition=partition)
+    return backends, host_caches, partitions
+
+
 class ModelRunner:
     def __init__(
         self,
@@ -88,37 +156,9 @@ class ModelRunner:
                 ndp=ndp_engine_config,
             )
         self.system = system
-        self.host_caches: Dict[str, SetAssociativeLru] = {}
-        self.partitions: Dict[str, StaticPartitionCache] = {}
-        backends = {}
-        for feature in model.features:
-            table = model.tables[feature.name]
-            if config.kind is BackendKind.DRAM:
-                backends[feature.name] = DramSlsBackend(system, table)
-                continue
-            if not table.attached:
-                table.attach(system.device)
-            if config.kind is BackendKind.SSD:
-                cache = None
-                if config.host_cache_entries > 0:
-                    cache = SetAssociativeLru(config.host_cache_entries, ways=16)
-                    self.host_caches[feature.name] = cache
-                backends[feature.name] = SsdSlsBackend(
-                    system, table, host_cache=cache, coalesce=config.coalesce
-                )
-            else:
-                partition = None
-                if config.partition_entries > 0:
-                    profile = (partition_profiles or {}).get(feature.name)
-                    if profile is None:
-                        raise ValueError(
-                            f"partition requested but no profile for {feature.name}"
-                        )
-                    partition = StaticPartitionCache.from_profile(
-                        table, profile, config.partition_entries
-                    )
-                    self.partitions[feature.name] = partition
-                backends[feature.name] = NdpSlsBackend(system, table, partition=partition)
+        backends, self.host_caches, self.partitions = build_backends(
+            model, config, system, partition_profiles=partition_profiles
+        )
         self.stage = EmbeddingStage(backends)
         if config.prewarm_page_cache and config.kind is not BackendKind.DRAM:
             self._prewarm_page_cache()

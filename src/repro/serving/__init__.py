@@ -1,0 +1,41 @@
+"""Concurrent multi-request serving layer (the ROADMAP's scaling spine).
+
+RecSSD's benefit shows up under concurrent, batched, latency-bounded
+load; this package provides the serving front-end that creates that
+load shape against the simulated stack:
+
+* :class:`~repro.serving.request.InferenceRequest` — one user request
+  (model name + batch) with lifecycle timestamps.
+* :class:`~repro.serving.queue.RequestQueue` — admission-bounded
+  per-model FIFO lanes with round-robin fairness.
+* :class:`~repro.serving.scheduler.BatchScheduler` — coalesces queued
+  requests into batched SLS operations and keeps several outstanding per
+  worker, across one or many attached SSDs.
+* :class:`~repro.serving.stats.ServingStats` — per-request latency
+  percentiles (p50/p95/p99) and throughput.
+* :class:`~repro.serving.server.InferenceServer` — ties it together;
+  :func:`~repro.serving.server.run_offered_load` drives open-loop
+  Poisson experiments.
+
+See ``examples/serving_demo.py`` and
+``benchmarks/bench_serving_throughput.py``.
+"""
+
+from .queue import RequestQueue
+from .request import InferenceRequest, RequestState
+from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
+from .server import InferenceServer, ServingConfig, run_offered_load
+from .stats import ServingStats
+
+__all__ = [
+    "InferenceRequest",
+    "RequestState",
+    "RequestQueue",
+    "BatchScheduler",
+    "ModelWorker",
+    "SchedulerConfig",
+    "ServingStats",
+    "InferenceServer",
+    "ServingConfig",
+    "run_offered_load",
+]

@@ -1,0 +1,105 @@
+"""Admission-bounded, model-fair request queue.
+
+Requests wait in per-model FIFO lanes.  The scheduler drains one lane at
+a time (so same-model requests coalesce into one batched SLS op) but the
+lanes rotate round-robin, the host-side analogue of the NDP engine's
+step-3a round-robin page feed: no model's traffic can starve another's.
+
+Admission counts every live request — queued *and* dispatched — against
+``max_inflight`` (the :class:`~repro.host.system.SystemConfig`
+``max_inflight_requests`` knob); :meth:`release` frees a slot when a
+request completes.  Arrivals beyond the limit are rejected rather than
+buffered without bound, keeping tail latency finite under overload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .request import InferenceRequest
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """Bounded multi-lane FIFO with round-robin fairness across models."""
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.inflight = 0          # admitted and not yet released
+        self._lanes: Dict[str, Deque[InferenceRequest]] = {}
+        self._rotation: Deque[str] = deque()  # lanes with queued work, RR order
+
+    # ------------------------------------------------------------------
+    def offer(self, request: InferenceRequest) -> bool:
+        """Admit ``request`` if an in-flight slot is free; False rejects."""
+        if self.inflight >= self.max_inflight:
+            return False
+        self.inflight += 1
+        lane = self._lanes.get(request.model)
+        if lane is None:
+            lane = self._lanes[request.model] = deque()
+        if not lane:
+            self._rotation.append(request.model)
+        lane.append(request)
+        return True
+
+    # ------------------------------------------------------------------
+    def next_model(
+        self, ready: Optional[Callable[[str], bool]] = None
+    ) -> Optional[str]:
+        """The next lane (round-robin) with queued work that ``ready`` accepts.
+
+        The returned lane keeps its rotation position until popped; lanes
+        whose ``ready`` check fails (e.g. no free worker) are skipped this
+        round without losing their turn.
+        """
+        for i in range(len(self._rotation)):
+            model = self._rotation[i]
+            if ready is None or ready(model):
+                return model
+        return None
+
+    def pop_batch(self, model: str, limit: int) -> List[InferenceRequest]:
+        """Dequeue up to ``limit`` requests from ``model``'s lane (FIFO).
+
+        Rotates the lane to the back of the round-robin order; drops it
+        from the rotation when emptied.
+        """
+        lane = self._lanes.get(model)
+        if not lane:
+            return []
+        out: List[InferenceRequest] = []
+        while lane and len(out) < limit:
+            out.append(lane.popleft())
+        try:
+            self._rotation.remove(model)
+        except ValueError:
+            pass
+        if lane:
+            self._rotation.append(model)
+        return out
+
+    def release(self) -> None:
+        """Return one admission slot (a request completed)."""
+        if self.inflight <= 0:
+            raise RuntimeError("release without a matching offer")
+        self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def queued_for(self, model: str) -> int:
+        return len(self._lanes.get(model, ()))
+
+    def __len__(self) -> int:
+        return self.queued
+
+    def __repr__(self) -> str:
+        lanes = {m: len(q) for m, q in self._lanes.items() if q}
+        return f"RequestQueue(inflight={self.inflight}, queued={lanes})"

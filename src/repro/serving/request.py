@@ -1,0 +1,69 @@
+"""Inference requests as the serving layer sees them.
+
+One :class:`InferenceRequest` is one user-facing unit of work: a model
+name plus a :class:`~repro.models.base.Batch` (dense inputs + per-table
+lookup bags).  The serving layer stamps its lifecycle times so the stats
+can split total latency into queueing delay, embedding-stage time and
+dense-stage time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..models.base import Batch
+
+__all__ = ["RequestState", "InferenceRequest"]
+
+
+class RequestState(Enum):
+    QUEUED = "queued"
+    DISPATCHED = "dispatched"
+    COMPLETE = "complete"
+    REJECTED = "rejected"
+
+
+@dataclass
+class InferenceRequest:
+    """One in-flight inference request.
+
+    ``values`` holds the per-table SLS result rows belonging to this
+    request (scattered back out of the coalesced batch); ``output`` holds
+    the model's scores when the server computes outputs.
+    """
+
+    model: str
+    batch: Batch
+    request_id: int = -1
+    state: RequestState = RequestState.QUEUED
+    t_arrival: float = 0.0
+    t_dispatch: float = -1.0
+    t_emb_done: float = -1.0
+    t_done: float = -1.0
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    output: Optional[np.ndarray] = None
+    on_done: Optional[Callable[["InferenceRequest"], None]] = None
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time in simulated seconds."""
+        return self.t_done - self.t_arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting in the request queue before dispatch."""
+        return self.t_dispatch - self.t_arrival
+
+    @property
+    def done(self) -> bool:
+        return self.state in (RequestState.COMPLETE, RequestState.REJECTED)
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceRequest(#{self.request_id}, model={self.model}, "
+            f"state={self.state.value})"
+        )

@@ -1,0 +1,168 @@
+"""Batch coalescing and concurrent dispatch across backends and devices.
+
+The scheduler turns many small in-flight requests into few large SLS
+operations — the regime where NDP offload pays off (Figures 6-9: the
+gap between RecSSD and the COTS baseline grows with lookups per command)
+— while keeping *multiple* coalesced batches outstanding so the device
+sees genuinely overlapping SLS commands.
+
+Each model owns one or more :class:`ModelWorker` dispatch targets; a
+worker is the model's tables wired to SLS backends on one attached SSD
+(or host DRAM).  Multi-device systems get one worker per device, so
+coalesced batches round-robin across SSDs and their flash bandwidth adds
+up.  Within a device, concurrency comes from the engine's pending-request
+buffer; across devices, from the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..embedding.stage import EmbeddingStage, EmbStageResult
+from ..models.base import RecModel
+from .queue import RequestQueue
+from .request import InferenceRequest, RequestState
+from .stats import ServingStats
+
+__all__ = ["SchedulerConfig", "ModelWorker", "BatchScheduler"]
+
+# name -> (row_lo, row_hi) of one request inside a coalesced stage batch
+Spans = Dict[str, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    # Most requests coalesced into one batched SLS op per table.
+    max_batch_requests: int = 8
+    # Coalesced batches a single worker keeps outstanding.  >=2 keeps the
+    # device busy while a finished batch's results post-process.
+    max_inflight_batches_per_worker: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        if self.max_inflight_batches_per_worker < 1:
+            raise ValueError("max_inflight_batches_per_worker must be >= 1")
+
+
+class ModelWorker:
+    """One dispatch target: a model's SLS backends on one device."""
+
+    def __init__(self, model: RecModel, stage: EmbeddingStage, device_index: int = 0):
+        self.model = model
+        self.stage = stage
+        self.device_index = device_index
+        self.inflight_batches = 0
+        self.batches_done = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelWorker({self.model.name}, device={self.device_index}, "
+            f"inflight={self.inflight_batches})"
+        )
+
+
+class BatchScheduler:
+    """Drains the request queue into coalesced, concurrently dispatched batches.
+
+    ``on_batch_done(requests)`` fires when a coalesced batch's embedding
+    stage finishes and every member request's result rows have been
+    scattered back; the server runs the dense stage and completion from
+    there.
+    """
+
+    def __init__(
+        self,
+        sim,
+        queue: RequestQueue,
+        workers: Dict[str, List[ModelWorker]],
+        stats: ServingStats,
+        config: SchedulerConfig,
+        on_batch_done: Callable[[List[InferenceRequest]], None],
+    ):
+        self.sim = sim
+        self.queue = queue
+        self.workers = workers
+        self.stats = stats
+        self.config = config
+        self.on_batch_done = on_batch_done
+        self._rr_worker: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _free_worker(self, model: str) -> ModelWorker | None:
+        """The model's next worker (round-robin) with a free batch slot."""
+        pool = self.workers.get(model)
+        if not pool:
+            raise KeyError(f"no workers registered for model {model!r}")
+        start = self._rr_worker.get(model, 0)
+        for i in range(len(pool)):
+            worker = pool[(start + i) % len(pool)]
+            if worker.inflight_batches < self.config.max_inflight_batches_per_worker:
+                self._rr_worker[model] = (start + i + 1) % len(pool)
+                return worker
+        return None
+
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Dispatch queued work while some ready lane has a free worker."""
+        while True:
+            # One scan doubles as readiness check and worker selection;
+            # next_model stops at the first lane whose pool has capacity.
+            found: Dict[str, ModelWorker] = {}
+
+            def ready(model: str) -> bool:
+                worker = self._free_worker(model)
+                if worker is None:
+                    return False
+                found[model] = worker
+                return True
+
+            model = self.queue.next_model(ready)
+            if model is None:
+                return
+            requests = self.queue.pop_batch(model, self.config.max_batch_requests)
+            if not requests:
+                return
+            self._dispatch(found[model], requests)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker: ModelWorker, requests: List[InferenceRequest]) -> None:
+        now = self.sim.now
+        merged: Dict[str, List] = {f.name: [] for f in worker.model.features}
+        spans: List[Spans] = []
+        for request in requests:
+            request.state = RequestState.DISPATCHED
+            request.t_dispatch = now
+            span: Spans = {}
+            for name, bags in request.batch.bags.items():
+                lane = merged[name]
+                lo = len(lane)
+                lane.extend(bags)
+                span[name] = (lo, len(lane))
+            spans.append(span)
+        self.stats.record_dispatch(requests)
+        worker.inflight_batches += 1
+        worker.stage.start(
+            merged,
+            lambda result: self._batch_done(worker, requests, spans, result),
+        )
+
+    def _batch_done(
+        self,
+        worker: ModelWorker,
+        requests: List[InferenceRequest],
+        spans: List[Spans],
+        result: EmbStageResult,
+    ) -> None:
+        worker.inflight_batches -= 1
+        worker.batches_done += 1
+        now = self.sim.now
+        for request, span in zip(requests, spans):
+            request.t_emb_done = now
+            request.values = {
+                name: result.values[name][lo:hi] for name, (lo, hi) in span.items()
+            }
+        self.on_batch_done(requests)
+        # A batch slot just freed; pull in whatever queued behind it.
+        self.pump()

@@ -1,0 +1,343 @@
+"""The concurrent inference server: queue + scheduler + stats in one front-end.
+
+Usage::
+
+    system = build_system(min_capacity_pages=required_capacity_pages(model),
+                          ndp=NdpEngineConfig(queue_when_full=True))
+    server = InferenceServer(system)
+    server.register_model(model, BackendKind.NDP)
+    request = server.submit(model.name, model.sample_batch(rng, batch_size=4))
+    server.run_until_settled()
+    print(server.stats.summary())
+
+The server accepts many in-flight requests (bounded by
+``SystemConfig.max_inflight_requests``), coalesces same-model requests
+into batched SLS operations, dispatches them concurrently across the
+registered backends and attached SSDs, and runs each request's dense
+tower on the (serialized) host NN workers — the serving shape the paper
+evaluates, with per-request p50/p95/p99 tracked in :class:`ServingStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..embedding.stage import EmbeddingStage
+from ..embedding.table import EmbeddingTable
+from ..host.system import System
+from ..models.base import Batch, RecModel
+from ..models.runner import BackendKind, RunnerConfig, build_backends
+from .queue import RequestQueue
+from .request import InferenceRequest, RequestState
+from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
+from .stats import ServingStats
+
+__all__ = ["ServingConfig", "InferenceServer", "run_offered_load"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    # None defers to SystemConfig.max_inflight_requests.
+    max_inflight_requests: Optional[int] = None
+    max_batch_requests: int = 8
+    max_inflight_batches_per_worker: int = 2
+    # Run the model's dense tower after the embedding stage (serialized on
+    # the host NN workers, as in the inference pipeline).
+    dense_stage: bool = True
+    # Numerically compute model outputs (costs host wall-clock, not
+    # simulated time; enable for correctness checks).
+    compute_outputs: bool = False
+
+
+class InferenceServer:
+    """Serves concurrent inference requests for one or more registered models."""
+
+    def __init__(self, system: System, config: Optional[ServingConfig] = None):
+        self.system = system
+        self.config = config or ServingConfig()
+        self.sim = system.sim
+        max_inflight = (
+            self.config.max_inflight_requests
+            if self.config.max_inflight_requests is not None
+            else system.config.max_inflight_requests
+        )
+        self.stats = ServingStats(self.sim)
+        self.queue = RequestQueue(max_inflight)
+        self.models: Dict[str, RecModel] = {}
+        self.workers: Dict[str, List[ModelWorker]] = {}
+        self.scheduler = BatchScheduler(
+            self.sim,
+            self.queue,
+            self.workers,
+            self.stats,
+            SchedulerConfig(
+                max_batch_requests=self.config.max_batch_requests,
+                max_inflight_batches_per_worker=(
+                    self.config.max_inflight_batches_per_worker
+                ),
+            ),
+            on_batch_done=self._batch_done,
+        )
+        self._next_request_id = 1
+        self._dense_busy_until = 0.0
+        # Projected worst-case concurrent NDP entries per device, used to
+        # validate registrations against the engine's buffer config.
+        self._projected_ndp_entries: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Model registration
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        model: RecModel,
+        kind: BackendKind,
+        runner_config: Optional[RunnerConfig] = None,
+        num_workers: int = 1,
+        partition_profiles=None,
+    ) -> List[ModelWorker]:
+        """Wire ``model``'s tables to ``kind`` backends and accept its traffic.
+
+        ``num_workers`` > 1 replicates the model across that many attached
+        SSDs (devices are added to the system as needed; replicas share
+        the primary tables' data source, so results are identical).  DRAM
+        backends ignore the device count but still gain concurrent
+        dispatch slots per extra worker.
+        """
+        if model.name in self.models:
+            raise ValueError(f"model {model.name!r} already registered")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        config = runner_config or RunnerConfig(kind=kind)
+        if config.kind is not kind:
+            raise ValueError("runner_config.kind must match kind")
+        # Validate everything up front: a rejected registration must not
+        # leave added devices, attached replicas or inflated projections
+        # behind (devices added by add_device cannot be removed again).
+        pending_entries: Dict[int, int] = {}  # device index -> increment
+        if kind is BackendKind.NDP:
+            for index in range(num_workers):
+                self._check_ndp_capacity(model, index, pending_entries)
+            if config.partition_entries > 0:
+                for feature in model.features:
+                    if (partition_profiles or {}).get(feature.name) is None:
+                        raise ValueError(
+                            f"partition requested but no profile for "
+                            f"{feature.name}"
+                        )
+        pool: List[ModelWorker] = []
+        for index in range(num_workers):
+            if kind is BackendKind.DRAM or index == 0:
+                device = self.system.device
+                tables = model.tables
+            else:
+                while index >= len(self.system.devices):
+                    self.system.add_device(self.system.device.config)
+                device = self.system.devices[index]
+                tables = {
+                    f.name: EmbeddingTable(f.spec, data=model.tables[f.name].data)
+                    for f in model.features
+                }
+            backends, _caches, _partitions = build_backends(
+                model,
+                config,
+                self.system,
+                device=device,
+                tables=tables,
+                partition_profiles=partition_profiles,
+            )
+            pool.append(
+                ModelWorker(model, EmbeddingStage(backends), device_index=index)
+            )
+        for index, count in pending_entries.items():
+            self._projected_ndp_entries[index] = (
+                self._projected_ndp_entries.get(index, 0) + count
+            )
+        self.models[model.name] = model
+        self.workers[model.name] = pool
+        return pool
+
+    def _check_ndp_capacity(
+        self, model: RecModel, device_index: int, pending_entries: Dict[int, int]
+    ) -> None:
+        """Fail registration, not serving, when the NDP buffer can overflow.
+
+        Once the entry buffer fills, the engine rejects config writes —
+        immediately without ``queue_when_full``, or past the
+        ``max_queued_configs`` hold limit with it — and a rejection
+        surfaces as a hard :class:`~repro.driver.ndp.NdpError` mid-run.
+        The scheduler keeps at most ``max_inflight_batches_per_worker``
+        batches (one SLS op per table each) outstanding per worker, so
+        the worst case per device is the sum of ``tables * batches`` over
+        the models it serves; refuse registrations that could exceed the
+        device's capacity.  Projections are keyed by device index (the
+        device may not exist yet; ones added later clone the primary's
+        config); increments accumulate in ``pending_entries`` and are
+        committed by the caller on success.
+        """
+        if device_index < len(self.system.devices):
+            device_config = self.system.devices[device_index].config
+        else:
+            device_config = self.system.device.config
+        engine_config = device_config.ndp
+        pending_entries[device_index] = pending_entries.get(
+            device_index, 0
+        ) + len(model.features) * self.config.max_inflight_batches_per_worker
+        projected = (
+            self._projected_ndp_entries.get(device_index, 0)
+            + pending_entries[device_index]
+        )
+        capacity = engine_config.max_entries
+        if engine_config.queue_when_full:
+            capacity += engine_config.max_queued_configs
+        if projected > capacity:
+            hint = (
+                "raise NdpEngineConfig.max_queued_configs"
+                if engine_config.queue_when_full
+                else "build the system with NdpEngineConfig(queue_when_full=True)"
+            )
+            raise ValueError(
+                f"model {model.name!r} could put {projected} concurrent SLS "
+                f"requests on one device but it accepts at most {capacity} "
+                f"before rejecting; {hint} or lower "
+                f"max_inflight_batches_per_worker"
+            )
+        # Each concurrent SLS op also needs a request id inside the SLBA
+        # alignment window and (config write + result read) command slots
+        # below the driver's aggregate queue depth; exceeding either dies
+        # mid-run (NdpError / heap-drain) rather than rejecting cleanly.
+        rid_window = device_config.slba_alignment_lbas - 1
+        if projected > rid_window:
+            raise ValueError(
+                f"model {model.name!r} could put {projected} concurrent SLS "
+                f"requests on one device but its SLBA codec has only "
+                f"{rid_window} request ids; raise slba_alignment_lbas or "
+                f"lower max_inflight_batches_per_worker"
+            )
+        driver_config = self.system.config.driver
+        aggregate_depth = driver_config.num_qpairs * driver_config.queue_depth
+        if 2 * projected > aggregate_depth:
+            raise ValueError(
+                f"model {model.name!r} could keep {2 * projected} NDP "
+                f"commands outstanding on one device but the driver's "
+                f"aggregate queue depth is {aggregate_depth}; raise "
+                f"DriverConfig num_qpairs/queue_depth or lower "
+                f"max_inflight_batches_per_worker"
+            )
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        batch: Batch,
+        on_done=None,
+    ) -> InferenceRequest:
+        """Enqueue one inference request; returns it immediately.
+
+        The request is REJECTED on the spot when the in-flight limit is
+        reached (admission control); otherwise it completes asynchronously
+        in simulated time (drive the simulator, e.g. via
+        :meth:`run_until_settled`).
+        """
+        if model_name not in self.models:
+            raise KeyError(f"model {model_name!r} not registered")
+        expected = {f.name for f in self.models[model_name].features}
+        if set(batch.bags) != expected:
+            # Catch it here: admitted-then-crashed would leak the admission
+            # slot and can surface the KeyError from an unrelated dispatch.
+            raise ValueError(
+                f"batch tables {sorted(batch.bags)} do not match model "
+                f"{model_name!r} features {sorted(expected)}"
+            )
+        request = InferenceRequest(
+            model=model_name,
+            batch=batch,
+            request_id=self._next_request_id,
+            t_arrival=self.sim.now,
+            on_done=on_done,
+        )
+        self._next_request_id += 1
+        if not self.queue.offer(request):
+            request.state = RequestState.REJECTED
+            request.t_done = self.sim.now
+            self.stats.record_reject(request)
+            if request.on_done is not None:
+                request.on_done(request)
+            return request
+        self.stats.record_arrival(request)
+        self.scheduler.pump()
+        return request
+
+    def _batch_done(self, requests: List[InferenceRequest]) -> None:
+        """Embedding stage finished for a coalesced batch; run dense + complete."""
+        sim = self.sim
+        for request in requests:
+            finish = sim.now
+            model = self.models[request.model]
+            if self.config.compute_outputs:
+                request.output = model.forward(request.batch.dense, request.values)
+            if self.config.dense_stage:
+                dense_time = model.dense_time(
+                    request.batch.batch_size, self.system.host_cpu
+                )
+                start = max(sim.now, self._dense_busy_until)
+                finish = start + dense_time
+                self._dense_busy_until = finish
+            sim.schedule_at(finish, lambda r=request: self._complete(r))
+
+    def _complete(self, request: InferenceRequest) -> None:
+        request.state = RequestState.COMPLETE
+        request.t_done = self.sim.now
+        self.queue.release()
+        self.stats.record_completion(request)
+        if request.on_done is not None:
+            request.on_done(request)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_until_settled(self, limit: float = float("inf")) -> float:
+        """Advance the simulator until every admitted request completed."""
+        return self.sim.run_until(lambda: self.queue.inflight == 0, limit)
+
+
+def run_offered_load(
+    server: InferenceServer,
+    loads: Dict[str, float],
+    n_requests: int,
+    batch_size: int = 1,
+    seed: int = 0,
+    samplers=None,
+) -> ServingStats:
+    """Open-loop Poisson arrival experiment against ``server``.
+
+    ``loads`` maps registered model names to offered request rates
+    (requests per simulated second); each model contributes ``n_requests``
+    arrivals.  Batches and inter-arrival gaps are drawn from one seeded
+    RNG, so the whole experiment is deterministic: same seed, same
+    latency distribution.  Returns the server's stats object.
+    """
+    if not loads:
+        raise ValueError("need at least one (model, rate) load")
+    rng = np.random.default_rng(seed)
+    sim = server.sim
+    for model_name, rate in loads.items():
+        if rate <= 0:
+            raise ValueError(f"rate for {model_name!r} must be positive")
+        model = server.models[model_name]  # KeyError for unknown models
+        gaps = rng.exponential(1.0 / rate, size=n_requests)
+        arrival = sim.now
+        for gap in gaps:
+            arrival += float(gap)
+            batch = model.sample_batch(rng, batch_size, samplers=samplers)
+            sim.schedule_at(
+                arrival,
+                lambda m=model_name, b=batch: server.submit(m, b),
+            )
+    target = server.stats.settled + len(loads) * n_requests
+    sim.run_until(lambda: server.stats.settled >= target)
+    return server.stats

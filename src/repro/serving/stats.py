@@ -1,0 +1,126 @@
+"""Serving-layer metrics: tail latency percentiles and throughput.
+
+Latency-bounded throughput is the paper's serving framing (Section 2;
+RecNMP/MicroRec make the same argument): a deployment provisions to a
+p95/p99 SLA, not to mean latency.  :class:`ServingStats` therefore keeps
+every completed request's latency (exact percentiles, not bucketed
+approximations) alongside throughput and concurrency gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.stats import Accumulator, rank_quantile, summarize_latencies
+from .request import InferenceRequest
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Per-request latency and throughput accounting for one server."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.inflight = 0
+        self.max_inflight = 0
+        self.batches_dispatched = 0
+        self.requests_per_batch = Accumulator()
+        self.latencies: List[float] = []
+        self.queue_delays: List[float] = []
+        self.emb_latencies: List[float] = []
+        self.completed_by_model: Dict[str, int] = {}
+        self.first_arrival: Optional[float] = None
+        self.last_completion: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording (called by the server/scheduler)
+    # ------------------------------------------------------------------
+    def record_arrival(self, request: InferenceRequest) -> None:
+        self.submitted += 1
+        self.inflight += 1
+        if self.inflight > self.max_inflight:
+            self.max_inflight = self.inflight
+        if self.first_arrival is None:
+            self.first_arrival = request.t_arrival
+
+    def record_reject(self, request: InferenceRequest) -> None:
+        # Rejected requests count as submitted (but never in flight), so
+        # submitted == completed + rejected + inflight always holds.
+        self.submitted += 1
+        self.rejected += 1
+
+    def record_dispatch(self, requests: List[InferenceRequest]) -> None:
+        self.batches_dispatched += 1
+        self.requests_per_batch.add(float(len(requests)))
+
+    def record_completion(self, request: InferenceRequest) -> None:
+        self.completed += 1
+        self.inflight -= 1
+        self.latencies.append(request.latency)
+        self.queue_delays.append(request.queue_delay)
+        if request.t_emb_done >= 0:
+            self.emb_latencies.append(request.t_emb_done - request.t_dispatch)
+        model = request.model
+        self.completed_by_model[model] = self.completed_by_model.get(model, 0) + 1
+        self.last_completion = request.t_done
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def settled(self) -> int:
+        """Requests that reached a terminal state (complete or rejected)."""
+        return self.completed + self.rejected
+
+    def percentile(self, q: float) -> float:
+        """Exact latency quantile in seconds (the repo's shared rank rule)."""
+        return rank_quantile(sorted(self.latencies), q)
+
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second over the busy interval."""
+        if self.completed == 0 or self.first_arrival is None:
+            return 0.0
+        last = (
+            self.last_completion if self.last_completion is not None else self.sim.now
+        )
+        span = last - self.first_arrival
+        return self.completed / span if span > 0 else 0.0
+
+    def mean_latency(self) -> float:
+        acc = Accumulator()
+        acc.extend(self.latencies)
+        return acc.mean
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers (latencies in milliseconds)."""
+        lat = summarize_latencies(self.latencies)
+        return {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "throughput_rps": self.throughput_rps(),
+            "mean_ms": lat["mean_ms"],
+            "p50_ms": lat["p50_ms"],
+            "p95_ms": lat["p95_ms"],
+            "p99_ms": lat["p99_ms"],
+            "max_ms": lat["max_ms"],
+            "mean_queue_delay_ms": (
+                sum(self.queue_delays) / len(self.queue_delays) * 1e3
+                if self.queue_delays
+                else 0.0
+            ),
+            "max_inflight": float(self.max_inflight),
+            "mean_batch_requests": self.requests_per_batch.mean,
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"ServingStats(completed={self.completed}, "
+            f"tput={s['throughput_rps']:.1f}rps, p50={s['p50_ms']:.2f}ms, "
+            f"p95={s['p95_ms']:.2f}ms, p99={s['p99_ms']:.2f}ms)"
+        )

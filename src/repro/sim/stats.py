@@ -10,7 +10,24 @@ __all__ = [
     "Histogram",
     "TimeWeightedStat",
     "Breakdown",
+    "rank_quantile",
+    "summarize_latencies",
 ]
+
+
+def rank_quantile(sorted_values: List[float], q: float) -> float:
+    """Quantile ``q`` in [0, 1] of an ascending-sorted list.
+
+    Picks index ``round(q * (n - 1))`` — the repo's historical percentile
+    rule (shared by every latency report), not the textbook nearest-rank
+    ``ceil(q * n)`` definition.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
 
 
 class Accumulator:
@@ -179,10 +196,7 @@ def summarize_latencies(latencies_s: List[float]) -> Dict[str, float]:
     ordered = sorted(latencies_s)
 
     def pct(p: float) -> float:
-        if not ordered:
-            return 0.0
-        idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
-        return ordered[idx]
+        return rank_quantile(ordered, p)
 
     return {
         "mean_ms": acc.mean * 1e3,

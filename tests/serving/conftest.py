@@ -1,0 +1,48 @@
+"""Shared builders for the serving-layer tests: a tiny DLRM on a small system."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import NdpEngineConfig
+from repro.host.system import SystemConfig, build_system
+from repro.models.dlrm import DlrmConfig, DlrmModel
+from repro.models.runner import BackendKind, required_capacity_pages
+from repro.serving import InferenceServer, ServingConfig
+
+
+def toy_model(name: str = "toy", num_tables: int = 2, seed: int = 1) -> DlrmModel:
+    return DlrmModel(
+        DlrmConfig(
+            name=name,
+            dense_in=16,
+            bottom_mlp=(32, 16),
+            top_mlp=(32, 16),
+            num_tables=num_tables,
+            table_rows=4096,
+            dim=16,
+            lookups=8,
+        ),
+        seed=seed,
+    )
+
+
+def build_server(
+    models,
+    kind: BackendKind = BackendKind.NDP,
+    serving_config: Optional[ServingConfig] = None,
+    system_config: Optional[SystemConfig] = None,
+    num_workers: int = 1,
+    queue_when_full: bool = True,
+) -> InferenceServer:
+    models = models if isinstance(models, (list, tuple)) else [models]
+    capacity = max(required_capacity_pages(m) for m in models)
+    system = build_system(
+        min_capacity_pages=capacity,
+        ndp=NdpEngineConfig(queue_when_full=queue_when_full),
+        system_config=system_config,
+    )
+    server = InferenceServer(system, serving_config)
+    for model in models:
+        server.register_model(model, kind, num_workers=num_workers)
+    return server
