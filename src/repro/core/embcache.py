@@ -4,15 +4,28 @@ The FTL runs on a simple CPU without dynamic allocation, so the SSD-side
 cache is direct mapped: no LRU metadata updates on access, one tag
 compare per probe.  Entries are whole embedding vectors keyed by
 ``(table, row)``.
+
+Tags live in dense int64 arrays and vectors in one float32 block, so the
+NDP engine probes a whole SLS config's input list in a few vector ops
+(:meth:`probe_many`) and installs a returned page's vectors in one
+scatter (:meth:`insert_many`) — both bit-equivalent to the element-wise
+loops they replaced.  Caches holding mixed vector widths (multiple
+models with different embedding dims on one device) transparently fall
+back to per-slot object storage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from .vecops import group_slices
+
 __all__ = ["DirectMappedEmbeddingCache"]
+
+_HASH_MULT = 2654435761
+_TABLE_MULT = 97
 
 
 class DirectMappedEmbeddingCache:
@@ -22,9 +35,11 @@ class DirectMappedEmbeddingCache:
         if slots < 0:
             raise ValueError("slots must be >= 0")
         self.slots = slots
-        # slot -> (tag, vector); tags are (table_key, row) tuples.  A dict
-        # keyed by slot keeps memory proportional to occupancy.
-        self._entries: Dict[int, Tuple[Tuple[int, int], np.ndarray]] = {}
+        self._tag_table = np.full(slots, -1, dtype=np.int64)
+        self._tag_row = np.full(slots, -1, dtype=np.int64)
+        self._values: Optional[np.ndarray] = None   # [slots, dim] dense storage
+        self._values_obj: Optional[Dict[int, np.ndarray]] = None  # mixed-dim fallback
+        self._occupied = 0
         self.hits = 0
         self.misses = 0
         self.conflict_evictions = 0
@@ -34,46 +49,152 @@ class DirectMappedEmbeddingCache:
     def _slot(self, table_key: int, row: int) -> int:
         # Simple modular hash: cheap enough for firmware, spreads both the
         # row index and the table id.
-        return (row * 2654435761 + table_key * 97) % self.slots
+        return (row * _HASH_MULT + table_key * _TABLE_MULT) % self.slots
 
+    def _slots_of(self, table_key: int, rows: np.ndarray) -> np.ndarray:
+        return (rows * _HASH_MULT + table_key * _TABLE_MULT) % self.slots
+
+    def _get_value(self, slot: int) -> np.ndarray:
+        if self._values_obj is not None:
+            return self._values_obj[slot]
+        return self._values[slot]
+
+    def _ensure_storage(self, vector: np.ndarray) -> None:
+        if self._values_obj is not None:
+            return
+        if self._values is None:
+            self._values = np.zeros(
+                (self.slots,) + np.asarray(vector).shape, dtype=np.float32
+            )
+        elif self._values.shape[1:] != np.asarray(vector).shape:
+            # Mixed vector widths: migrate to per-slot object storage.
+            occupied = np.flatnonzero(self._tag_row != -1)
+            self._values_obj = {int(s): self._values[s] for s in occupied}
+            self._values = None
+
+    # ------------------------------------------------------------------
+    # Scalar interface
+    # ------------------------------------------------------------------
     def lookup(self, table_key: int, row: int) -> Optional[np.ndarray]:
         if self.slots == 0:
             self.misses += 1
             return None
-        entry = self._entries.get(self._slot(table_key, row))
-        if entry is not None and entry[0] == (table_key, row):
+        slot = self._slot(table_key, row)
+        if self._tag_row[slot] == row and self._tag_table[slot] == table_key:
             self.hits += 1
-            return entry[1]
+            return self._get_value(slot)
         self.misses += 1
         return None
 
     def insert(self, table_key: int, row: int, vector: np.ndarray) -> None:
         if self.slots == 0:
             return
+        self._ensure_storage(vector)
         slot = self._slot(table_key, row)
-        existing = self._entries.get(slot)
-        if existing is not None and existing[0] != (table_key, row):
+        old_row = self._tag_row[slot]
+        if old_row == -1:
+            self._occupied += 1
+        elif old_row != row or self._tag_table[slot] != table_key:
             self.conflict_evictions += 1
-        self._entries[slot] = ((table_key, row), vector)
+        self._tag_table[slot] = table_key
+        self._tag_row[slot] = row
+        if self._values_obj is not None:
+            self._values_obj[slot] = np.asarray(vector)
+        else:
+            self._values[slot] = vector
         self.inserts += 1
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def probe_many(
+        self, table_key: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Probe a batch of rows; equivalent to ``lookup`` per row, in order.
+
+        Returns ``(hit_mask, vectors)``, ``vectors`` holding the cached
+        values of the hit positions only (``None`` when nothing hit).
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        n = rows.size
+        if self.slots == 0 or self._occupied == 0 or n == 0:
+            self.misses += n
+            return np.zeros(n, dtype=bool), None
+        slots = self._slots_of(table_key, rows)
+        hit_mask = (self._tag_row[slots] == rows) & (self._tag_table[slots] == table_key)
+        n_hits = int(np.count_nonzero(hit_mask))
+        self.hits += n_hits
+        self.misses += n - n_hits
+        if n_hits == 0:
+            return hit_mask, None
+        hit_slots = slots[hit_mask]
+        if self._values_obj is not None:
+            vectors = np.stack([self._values_obj[int(s)] for s in hit_slots])
+        else:
+            vectors = self._values[hit_slots]
+        return hit_mask, vectors
 
     def lookup_many(
         self, table_key: int, rows: np.ndarray
-    ) -> tuple[np.ndarray, list[Optional[np.ndarray]]]:
-        """Vectorized probe: returns (hit_mask, vectors aligned to rows)."""
-        hit_mask = np.zeros(rows.size, dtype=bool)
-        vectors: list[Optional[np.ndarray]] = [None] * rows.size
-        for i, row in enumerate(rows):
-            vec = self.lookup(table_key, int(row))
-            if vec is not None:
-                hit_mask[i] = True
-                vectors[i] = vec
+    ) -> tuple[np.ndarray, List[Optional[np.ndarray]]]:
+        """Per-row probe returning vectors aligned to ``rows`` (None = miss)."""
+        hit_mask, hit_vectors = self.probe_many(table_key, np.asarray(rows))
+        vectors: List[Optional[np.ndarray]] = [None] * len(rows)
+        for j, i in enumerate(np.flatnonzero(hit_mask)):
+            vectors[int(i)] = hit_vectors[j]
         return hit_mask, vectors
+
+    def insert_many(self, table_key: int, rows: np.ndarray, vectors: np.ndarray) -> None:
+        """Insert rows in order, skipping repeats of a row within the batch.
+
+        Equivalent to the engine's translation loop: the first occurrence
+        of each row is inserted (the paper's firmware dedupes per page),
+        later occurrences are ignored.  Conflict accounting matches the
+        sequential outcome, including batch entries displacing each other
+        when distinct rows hash to one slot.
+        """
+        if self.slots == 0 or len(rows) == 0:
+            return
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        vectors = np.asarray(vectors)
+        self._ensure_storage(vectors[0])
+        # First occurrence of each row, preserving arrival order.
+        _uniq, first = np.unique(rows, return_index=True)
+        perm = np.sort(first)
+        urows = rows[perm]
+        slots = self._slots_of(table_key, urows)
+        uniq_slots, order, bounds = group_slices(slots)
+        counts = np.diff(bounds)
+        # Entries after the first in one slot each displace a different row
+        # (rows are unique here), plus the first displaces any pre-existing
+        # foreign tag.
+        conflicts = int((counts - 1).sum())
+        existing_row = self._tag_row[uniq_slots]
+        existing_table = self._tag_table[uniq_slots]
+        occupied = existing_row != -1
+        first_rows = urows[order[bounds[:-1]]]
+        conflicts += int(
+            np.count_nonzero(
+                occupied & ((existing_row != first_rows) | (existing_table != table_key))
+            )
+        )
+        self.conflict_evictions += conflicts
+        self.inserts += int(urows.size)
+        self._occupied += int(np.count_nonzero(~occupied))
+        last_positions = order[bounds[1:] - 1]
+        self._tag_table[uniq_slots] = table_key
+        self._tag_row[uniq_slots] = urows[last_positions]
+        value_src = perm[last_positions]
+        if self._values_obj is not None:
+            for s, v in zip(uniq_slots.tolist(), value_src.tolist()):
+                self._values_obj[s] = vectors[v]
+        else:
+            self._values[uniq_slots] = vectors[value_src]
 
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self._entries)
+        return self._occupied
 
     @property
     def hit_rate(self) -> float:
@@ -87,5 +208,9 @@ class DirectMappedEmbeddingCache:
         self.inserts = 0
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._tag_table.fill(-1)
+        self._tag_row.fill(-1)
+        self._values = None
+        self._values_obj = None
+        self._occupied = 0
         self.reset_stats()

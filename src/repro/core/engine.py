@@ -28,6 +28,7 @@ from .config import SlsConfig
 from .embcache import DirectMappedEmbeddingCache
 from .extract import extract_vectors
 from .request import PageWork, SlsRequestEntry, SlsState
+from .vecops import scatter_add_vectors
 
 __all__ = ["NdpEngineConfig", "NdpSlsEngine", "SlsResultPayload"]
 
@@ -184,18 +185,17 @@ class NdpSlsEngine:
             return
 
         # Embedding-cache fast path (step 2a): hits skip flash entirely.
+        # One batched probe replaces the per-pair lookup loop.
         if self.emb_cache.slots > 0 and rows.size:
             table_key = entry.table_base_lpn
-            miss_mask = np.ones(rows.size, dtype=bool)
-            for i in range(rows.size):
-                vec = self.emb_cache.lookup(table_key, int(rows[i]))
-                if vec is not None:
-                    entry.cache_vectors.append(vec)
-                    entry.cache_result_ids.append(int(result_ids[i]))
-                    miss_mask[i] = False
-            entry.emb_cache_hits = int(rows.size - miss_mask.sum())
-            rows = rows[miss_mask]
-            result_ids = result_ids[miss_mask]
+            hit_mask, hit_vectors = self.emb_cache.probe_many(table_key, rows)
+            entry.emb_cache_hits = int(np.count_nonzero(hit_mask))
+            if hit_vectors is not None:
+                entry.cache_vectors = hit_vectors
+                entry.cache_result_ids = result_ids[hit_mask]
+                keep = ~hit_mask
+                rows = rows[keep]
+                result_ids = result_ids[keep]
 
         # Bucket misses by page (input is sorted by id, so pages come out
         # grouped; np.unique gives the page boundaries directly).
@@ -215,7 +215,9 @@ class NdpSlsEngine:
                 )
         self._interleave_by_channel(entry)
         entry.pages_total = len(entry.pending_pages)
-        entry.cache_work_pending = bool(entry.cache_vectors)
+        entry.cache_work_pending = (
+            entry.cache_vectors is not None and len(entry.cache_vectors) > 0
+        )
 
         # Pay the per-pair scan cost in chunks so page scheduling and
         # translation interleave with processing on the single FTL core.
@@ -293,11 +295,13 @@ class NdpSlsEngine:
         if len(entry.pending_pages) < 2:
             return
         geometry = self.ftl.geometry
-        mapping = self.ftl.mapping
+        works = list(entry.pending_pages)
+        lpns = np.fromiter((w.lpn for w in works), dtype=np.int64, count=len(works))
+        ppns = self.ftl.mapping.lookup_many(lpns)
+        dies = (ppns // geometry.pages_per_block) // geometry.blocks_per_die
+        channels = np.where(ppns >= 0, dies // geometry.ways, 0)
         buckets: Dict[int, Deque[PageWork]] = {}
-        for work in entry.pending_pages:
-            ppn = mapping.lookup(work.lpn)
-            channel = geometry.addr(ppn).channel if ppn >= 0 else 0
+        for work, channel in zip(works, channels.tolist()):
             buckets.setdefault(channel, deque()).append(work)
         interleaved: Deque[PageWork] = deque()
         queues = [buckets[c] for c in sorted(buckets)]
@@ -320,16 +324,16 @@ class NdpSlsEngine:
 
     # ------------------------------------------------------------------
     def _accumulate_cache_hits(self, entry: SlsRequestEntry) -> None:
-        if not entry.cache_vectors:
+        if entry.cache_vectors is None or len(entry.cache_vectors) == 0:
             entry.cache_work_pending = False
             return
-        vectors = np.stack(entry.cache_vectors)
-        ids = np.asarray(entry.cache_result_ids, dtype=np.int64)
+        vectors = entry.cache_vectors
+        ids = entry.cache_result_ids
         cost = len(ids) * self.ftl.cpu.costs.sls_cache_hit_vec_s
         entry.cpu_translation += cost
 
         def apply() -> None:
-            np.add.at(entry.scratchpad, ids, vectors)
+            scatter_add_vectors(entry.scratchpad, ids, vectors)
             entry.cache_work_pending = False
             self._maybe_finish(entry)
 
@@ -393,16 +397,12 @@ class NdpSlsEngine:
             vectors = extract_vectors(
                 content, work.slots, cfg.vec_dim, cfg.rows_per_page, cfg.quant
             )
-            np.add.at(entry.scratchpad, work.result_ids, vectors)
+            scatter_add_vectors(entry.scratchpad, work.result_ids, vectors)
             if self.emb_cache.slots > 0:
-                table_key = entry.table_base_lpn
                 page_row0 = (work.lpn - entry.table_base_lpn) * cfg.rows_per_page
-                seen: set[int] = set()
-                for i, slot in enumerate(work.slots):
-                    row = page_row0 + int(slot)
-                    if row not in seen:
-                        seen.add(row)
-                        self.emb_cache.insert(table_key, row, vectors[i])
+                self.emb_cache.insert_many(
+                    entry.table_base_lpn, page_row0 + work.slots, vectors
+                )
             entry.pages_done += 1
             entry.pages_inflight -= 1
             self._maybe_finish(entry)

@@ -4,17 +4,43 @@ Page content can be a virtual table page (fast path used for preloaded
 tables), a raw byte buffer written through the IO path, or ``None`` for
 never-written pages.  All paths return float32 vectors, dequantizing as
 needed.
+
+:func:`extract_vectors` handles one page; :func:`extract_vectors_many`
+is the batch form the SSD read path uses — it groups an entire
+command's (page, slot) list so virtual pages of one table collapse into
+a single gather instead of one Python call per row (critical for
+ONE_PER_PAGE layouts, where every row is its own page).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
 from ..quant import QuantSpec, decode_vectors
+from .vecops import group_slices
 
-__all__ = ["extract_vectors"]
+__all__ = ["extract_vectors", "extract_vectors_many"]
+
+
+def _extract_from_buffer(
+    content: Any,
+    slots: np.ndarray,
+    vec_dim: int,
+    rows_per_page: int,
+    quant: QuantSpec,
+) -> np.ndarray:
+    buf = np.asarray(content).view(np.uint8).reshape(-1)
+    row_bytes = quant.row_bytes(vec_dim)
+    needed = rows_per_page * row_bytes
+    if buf.size < needed:
+        raise ValueError(
+            f"page buffer too small: {buf.size} bytes < {needed} for layout"
+        )
+    rows = buf[:needed].reshape(rows_per_page, row_bytes)
+    raw = rows[slots].reshape(slots.size, row_bytes).view(quant.dtype.numpy_dtype)
+    return decode_vectors(raw.reshape(slots.size, vec_dim), quant)
 
 
 def extract_vectors(
@@ -36,13 +62,60 @@ def extract_vectors(
         if out.shape != (slots.size, vec_dim):
             raise ValueError("virtual page returned wrong vector shape")
         return out
-    buf = np.asarray(content).view(np.uint8).reshape(-1)
-    row_bytes = quant.row_bytes(vec_dim)
-    needed = rows_per_page * row_bytes
-    if buf.size < needed:
-        raise ValueError(
-            f"page buffer too small: {buf.size} bytes < {needed} for layout"
-        )
-    rows = buf[:needed].reshape(rows_per_page, row_bytes)
-    raw = rows[slots].reshape(slots.size, row_bytes).view(quant.dtype.numpy_dtype)
-    return decode_vectors(raw.reshape(slots.size, vec_dim), quant)
+    return _extract_from_buffer(content, slots, vec_dim, rows_per_page, quant)
+
+
+def extract_vectors_many(
+    contents_by_lpn: Mapping[int, Any],
+    lpns: np.ndarray,
+    slots: np.ndarray,
+    vec_dim: int,
+    rows_per_page: int,
+    quant: QuantSpec,
+) -> np.ndarray:
+    """Batch extract: row ``i`` is slot ``slots[i]`` of page ``lpns[i]``.
+
+    Equivalent to one :func:`extract_vectors` call per row with the row's
+    page content (missing pages yield zero vectors, like ``None``
+    content), but grouped so each distinct page is touched once — and
+    virtual table pages (objects carrying ``table``/``page_index``) of
+    one table collapse into a single ``table.get_rows`` gather.
+    """
+    lpns = np.asarray(lpns, dtype=np.int64)
+    slots = np.asarray(slots, dtype=np.int64)
+    out = np.zeros((slots.size, vec_dim), dtype=np.float32)
+    if slots.size == 0:
+        return out
+    if slots.min() < 0 or slots.max() >= rows_per_page:
+        raise IndexError("slot out of page range")
+    uniq, order, bounds = group_slices(lpns)
+    # (table -> (row ids, output positions)) accumulated across pages.
+    virtual: dict[int, tuple[Any, list, list]] = {}
+    for gi, lpn in enumerate(uniq.tolist()):
+        content = contents_by_lpn.get(lpn)
+        if content is None:
+            continue
+        idx = order[bounds[gi] : bounds[gi + 1]]
+        table = getattr(content, "table", None)
+        page_index = getattr(content, "page_index", None)
+        if table is not None and page_index is not None:
+            entry = virtual.setdefault(id(table), (table, [], []))
+            entry[1].append(page_index * rows_per_page + slots[idx])
+            entry[2].append(idx)
+        elif getattr(content, "vectors", None) is not None:
+            out[idx] = content.vectors(slots[idx])
+        else:
+            out[idx] = _extract_from_buffer(
+                content, slots[idx], vec_dim, rows_per_page, quant
+            )
+    for table, row_chunks, idx_chunks in virtual.values():
+        rows = np.concatenate(row_chunks)
+        idx = np.concatenate(idx_chunks)
+        # Mirrors TablePageContent.vectors: out-of-range rows (tail of the
+        # last page) stay zero.
+        in_range = rows < table.spec.rows
+        vals = np.zeros((rows.size, vec_dim), dtype=np.float32)
+        if np.any(in_range):
+            vals[in_range] = table.get_rows(rows[in_range])
+        out[idx] = vals
+    return out

@@ -52,9 +52,10 @@ class SlsRequestEntry:
     pages_done: int = 0
     pages_inflight: int = 0
 
-    # Fast-path work resolved from the SSD-side embedding cache.
-    cache_vectors: List[np.ndarray] = field(default_factory=list)
-    cache_result_ids: List[int] = field(default_factory=list)
+    # Fast-path work resolved from the SSD-side embedding cache: dense
+    # [n, dim] vectors and their accumulation targets (batch probe result).
+    cache_vectors: Optional[np.ndarray] = None
+    cache_result_ids: Optional[np.ndarray] = None
     cache_work_pending: bool = False
 
     # Result scratchpad (accumulation happens in float32, as the firmware's

@@ -1,0 +1,72 @@
+"""Vectorized accumulation primitives shared by the SLS hot paths.
+
+``np.add.at`` is the semantically-correct scatter-accumulate for
+duplicate indices, but it is an order of magnitude slower than a
+segment-reduce when the indices are (or can cheaply be made) sorted.
+The SLS backends almost always hold bag-sorted result ids, so the hot
+paths use :func:`segment_sum` / :func:`scatter_add_vectors` and keep
+``np.add.at`` only for the small unsorted scatters where sorting first
+is not a measured win (see ``benchmarks/bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_sum", "scatter_add_vectors", "group_slices"]
+
+# Below this many rows a raw np.add.at beats argsort + reduceat (the
+# crossover measured on the hot-path microbenchmark is ~100-200 rows).
+_SORT_THRESHOLD = 128
+
+
+def segment_sum(vectors: np.ndarray, ids: np.ndarray, n_out: int) -> np.ndarray:
+    """Sum ``vectors`` rows into ``n_out`` buckets keyed by sorted ``ids``.
+
+    ``ids`` must be ascending (duplicates allowed).  Empty buckets stay
+    zero.  Equivalent to ``np.add.at(out, ids, vectors)`` but runs as one
+    ``np.add.reduceat`` pass.
+    """
+    out = np.zeros((n_out, vectors.shape[1]), dtype=vectors.dtype)
+    if ids.size == 0:
+        return out
+    starts = np.searchsorted(ids, np.arange(n_out, dtype=ids.dtype))
+    counts = np.diff(np.append(starts, ids.size))
+    nonempty = counts > 0
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(vectors, starts[nonempty], axis=0)
+    return out
+
+
+def scatter_add_vectors(out: np.ndarray, ids: np.ndarray, vectors: np.ndarray) -> None:
+    """``out[ids] += vectors`` with duplicate-id semantics, fast for big batches.
+
+    Small or already-unsorted-and-small batches use ``np.add.at``; large
+    ones sort once and segment-reduce.
+    """
+    if ids.size == 0:
+        return
+    if ids.size < _SORT_THRESHOLD:
+        np.add.at(out, ids, vectors)
+        return
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    uniq, starts = np.unique(sorted_ids, return_index=True)
+    sums = np.add.reduceat(vectors[order], starts, axis=0)
+    out[uniq] += sums
+
+
+def group_slices(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group positions of ``keys`` by value.
+
+    Returns ``(uniq, order, bounds)`` where ``order`` permutes positions
+    so equal keys are contiguous (stable: original order within a group)
+    and group ``i`` occupies ``order[bounds[i]:bounds[i+1]]`` with key
+    ``uniq[i]``.  This is the vectorized replacement for the
+    ``dict.setdefault(key, []).append(i)`` grouping loops.
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse, minlength=uniq.size)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    return uniq, order, bounds

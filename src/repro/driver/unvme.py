@@ -9,7 +9,6 @@ immediate (dedicated spinning threads).
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional
@@ -58,7 +57,7 @@ class UnvmeDriver:
         ]
         self._callbacks: Dict[int, tuple[CompletionCallback, QueuePair]] = {}
         self._backlog: Deque[tuple[NvmeCommand, CompletionCallback]] = deque()
-        self._rr = itertools.cycle(range(len(self._qpairs)))
+        self._rr = 0
         for qp in self._qpairs:
             qp.cq.set_notify(self._on_cq_post)
         self.commands_issued = 0
@@ -76,9 +75,19 @@ class UnvmeDriver:
         self._issue(qp, cmd, on_done)
 
     def _pick_qpair(self) -> Optional[QueuePair]:
-        for _ in range(len(self._qpairs)):
-            qp = self._qpairs[next(self._rr)]
+        # Round-robin scan starting where the last pick left off; same
+        # selection sequence as the itertools.cycle original, without the
+        # per-call iterator and property overhead on the hot path.
+        qpairs = self._qpairs
+        n = len(qpairs)
+        rr = self._rr
+        for k in range(n):
+            idx = rr + k
+            if idx >= n:
+                idx -= n
+            qp = qpairs[idx]
             if qp.can_submit:
+                self._rr = idx + 1 if idx + 1 < n else 0
                 return qp
         return None
 

@@ -84,6 +84,11 @@ class SlsBackend(ABC):
     ) -> None:
         """Backend-specific implementation behind :meth:`start`."""
 
+    def reset_stats(self) -> None:
+        """Clear op counters (in-flight gauges keep tracking live ops)."""
+        self.ops = 0
+        self.max_inflight = self.inflight
+
     def run_sync(self, bags: Sequence[np.ndarray]) -> SlsOpResult:
         box: List[SlsOpResult] = []
         self.start(bags, box.append)

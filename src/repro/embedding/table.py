@@ -184,13 +184,18 @@ class EmbeddingTable:
         return decode_vectors(encode_vectors(raw, self.spec.quant), self.spec.quant)
 
     def ref_sls(self, bags: Sequence[np.ndarray]) -> np.ndarray:
-        """In-DRAM reference SparseLengthsSum over per-result bags."""
-        out = np.zeros((len(bags), self.spec.dim), dtype=np.float32)
-        for i, bag in enumerate(bags):
-            bag = np.asarray(bag, dtype=np.int64).reshape(-1)
-            if bag.size:
-                out[i] = self.get_rows(bag).sum(axis=0, dtype=np.float32)
-        return out
+        """In-DRAM reference SparseLengthsSum over per-result bags.
+
+        One gather + segment reduce over the flattened bags (the DRAM
+        backend's hot path at serving scale).
+        """
+        from ..core.vecops import segment_sum
+        from .backends.base import flatten_bags
+
+        rows, rids = flatten_bags(bags)
+        if rows.size == 0:
+            return np.zeros((len(bags), self.spec.dim), dtype=np.float32)
+        return segment_sum(self.get_rows(rows), rids, len(bags))
 
     # ------------------------------------------------------------------
     # NDP config construction

@@ -38,6 +38,10 @@ class MappingTable:
         """Return PPN for ``lpn`` or ``UNMAPPED``."""
         return int(self._l2p[lpn])
 
+    def lookup_many(self, lpns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup`: PPN (or ``UNMAPPED``) per LPN."""
+        return self._l2p[np.asarray(lpns, dtype=np.int64)]
+
     def reverse(self, ppn: int) -> int:
         """Return LPN mapped to ``ppn`` or ``UNMAPPED``."""
         return int(self._p2l[ppn])

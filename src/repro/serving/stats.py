@@ -22,11 +22,21 @@ class ServingStats:
 
     def __init__(self, sim):
         self.sim = sim
+        self.inflight = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard all recorded history (e.g. benchmark warm-up batches).
+
+        In-flight requests keep being tracked: their completions after a
+        reset decrement ``inflight`` but are counted (and their latencies
+        recorded) in the fresh window, so back-to-back benchmark
+        iterations don't inherit warm-up counts.
+        """
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
-        self.inflight = 0
-        self.max_inflight = 0
+        self.max_inflight = self.inflight
         self.batches_dispatched = 0
         self.requests_per_batch = Accumulator()
         self.latencies: List[float] = []

@@ -5,6 +5,12 @@ scheduling, and generator-based processes for control-heavy logic.  Hot
 paths (per-flash-page operations) use plain callbacks to keep Python
 overhead low; background loops (FTL polling, drivers) use processes.
 
+Events are stored as plain ``[time, seq, callback]`` lists so the heap
+compares floats/ints in C without calling back into Python — at
+serving-scale event counts (millions per run) the comparison function is
+the single hottest call otherwise.  A cancelled event keeps its heap slot
+with its callback set to ``None``.
+
 Time is a float in **seconds**.  Helpers in :mod:`repro.sim.units` convert
 from microseconds/milliseconds.
 """
@@ -12,8 +18,7 @@ from microseconds/milliseconds.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 __all__ = [
     "Simulator",
@@ -24,37 +29,40 @@ __all__ = [
     "ScheduleHandle",
 ]
 
+# Event layout: [time, seq, callback, arg]; callback is None once
+# cancelled, arg is _NO_ARG for plain thunks.
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARG = 3
+
+_NO_ARG = object()
+
 
 class SimError(RuntimeError):
     """Raised for invalid simulator usage (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+class ScheduleHandle(list):
+    """A scheduled event; returned by :meth:`Simulator.schedule`.
 
+    The handle *is* the heap entry (``[time, seq, callback]``) — no
+    wrapper allocation per event.  ``list`` ordering keeps heap
+    comparisons in C.
+    """
 
-class ScheduleHandle:
-    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: _Event):
-        self._event = event
+    __slots__ = ()
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self[_CALLBACK] = None
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self[_CALLBACK] is None
 
 
 class Simulator:
@@ -62,7 +70,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[_Event] = []
+        self._heap: list[list] = []
         self._seq = 0
         self._running = False
         self.event_count = 0
@@ -88,9 +96,72 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         self._seq += 1
-        event = _Event(time, self._seq, callback)
+        event = ScheduleHandle((time, self._seq, callback, _NO_ARG))
         heapq.heappush(self._heap, event)
-        return ScheduleHandle(event)
+        return event
+
+    def schedule_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> ScheduleHandle:
+        """Like :meth:`schedule`, but runs ``fn(arg)`` — hot paths use this
+        to avoid allocating a closure per event (one ``Server`` job each).
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_call_at(self._now + delay, fn, arg)
+
+    def schedule_call_at(self, time: float, fn: Callable[[Any], None], arg: Any) -> ScheduleHandle:
+        """Absolute-time form of :meth:`schedule_call`."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        event = ScheduleHandle((time, self._seq, fn, arg))
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_batch(
+        self, times: Sequence[float], callbacks: Sequence[Callable[[], None]]
+    ) -> None:
+        """Bulk-schedule ``callbacks[i]`` at absolute ``times[i]``.
+
+        ``times`` must be ascending (callers hold pre-sorted per-batch
+        timelines, e.g. one flash die group's page completions) and not in
+        the past.  When the heap is empty the sorted batch *is* a valid
+        heap and is installed in one pass; otherwise events are pushed
+        individually, still without per-event Python wrappers, handle
+        allocation, or revalidation.
+        """
+        n = len(times)
+        if n == 0:
+            return
+        if len(callbacks) != n:
+            raise SimError("schedule_batch: times/callbacks length mismatch")
+        if times[0] < self._now:
+            raise SimError(
+                f"cannot schedule at {times[0]} before current time {self._now}"
+            )
+        seq = self._seq
+        heap = self._heap
+        if heap:
+            push = heapq.heappush
+            prev = times[0]
+            for i in range(n):
+                t = times[i]
+                if t < prev:
+                    raise SimError("schedule_batch: times must be ascending")
+                prev = t
+                seq += 1
+                push(heap, [t, seq, callbacks[i], _NO_ARG])
+        else:
+            prev = times[0]
+            for i in range(n):
+                t = times[i]
+                if t < prev:
+                    raise SimError("schedule_batch: times must be ascending")
+                prev = t
+                seq += 1
+                heap.append([t, seq, callbacks[i], _NO_ARG])
+        self._seq = seq
 
     def call_soon(self, callback: Callable[[], None]) -> ScheduleHandle:
         """Run ``callback`` at the current time, after pending same-time events."""
@@ -101,13 +172,19 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            callback = event[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = event[_TIME]
             self.event_count += 1
-            event.callback()
+            arg = event[_ARG]
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             return True
         return False
 
@@ -119,19 +196,26 @@ class Simulator:
         if self._running:
             raise SimError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                head = heap[0]
+                callback = head[_CALLBACK]
+                if callback is None:
+                    pop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head[_TIME] > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
+                pop(heap)
+                self._now = head[_TIME]
                 self.event_count += 1
-                head.callback()
+                arg = head[_ARG]
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -143,9 +227,20 @@ class Simulator:
         """Run until ``predicate()`` is true (checked after each event)."""
         if predicate():
             return self._now
-        while self._heap and self._now <= limit:
-            if not self.step():
-                break
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and self._now <= limit:
+            event = pop(heap)
+            callback = event[_CALLBACK]
+            if callback is None:
+                continue
+            self._now = event[_TIME]
+            self.event_count += 1
+            arg = event[_ARG]
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             if predicate():
                 return self._now
         if not predicate():
@@ -154,7 +249,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
 
     # ------------------------------------------------------------------
     # Processes

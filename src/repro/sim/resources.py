@@ -48,23 +48,54 @@ class Server:
 
     # ------------------------------------------------------------------
     def submit(
-        self, service_time: float, on_done: Callable[[], None], priority: int = 0
+        self,
+        service_time: float,
+        on_done: Callable[[], None],
+        priority: int = 0,
+        on_start: Optional[Callable[[], Optional[float]]] = None,
     ) -> None:
-        """Enqueue a job needing ``service_time`` seconds of a server."""
+        """Enqueue a job needing ``service_time`` seconds of a server.
+
+        ``on_start`` (if given) runs at the instant the job claims a
+        server and may return an absolute completion time overriding
+        ``now + service_time`` — aggregate chain jobs (the batched flash
+        read path) use it to pin the server-free instant to a
+        sequentially-accumulated timeline, keeping float results
+        bit-identical to per-job submission.  An end time computed at
+        submit time is stale once the job has waited in the queue, so
+        ``on_start`` jobs must start immediately (callers check
+        ``idle``); queueing one is an error.
+        """
         if service_time < 0:
             raise SimError(f"negative service time {service_time}")
         if self._busy < self.capacity:
-            self._start(service_time, on_done)
+            self._start(service_time, on_done, on_start)
+        elif on_start is not None:
+            raise SimError("on_start jobs must be submitted to a free server")
         else:
             self._seq += 1
             heapq.heappush(self._heap, (priority, self._seq, service_time, on_done))
             self.queue_len_stat.record(len(self._heap))
 
-    def _start(self, service_time: float, on_done: Callable[[], None]) -> None:
+    def _start(
+        self,
+        service_time: float,
+        on_done: Callable[[], None],
+        on_start: Optional[Callable[[], Optional[float]]] = None,
+    ) -> None:
         self._busy += 1
         self.jobs_started += 1
         self.busy_time += service_time
-        self.sim.schedule(service_time, lambda: self._finish(on_done))
+        if on_start is None:
+            self.sim.schedule_call(service_time, self._finish, on_done)
+            return
+        # on_start may return an authoritative absolute end time (chains
+        # accumulate it in scalar float order).
+        end = on_start()
+        if end is None:
+            self.sim.schedule_call(service_time, self._finish, on_done)
+        else:
+            self.sim.schedule_call_at(end, self._finish, on_done)
 
     def _finish(self, on_done: Callable[[], None]) -> None:
         self._busy -= 1

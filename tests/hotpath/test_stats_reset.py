@@ -1,0 +1,130 @@
+"""Stats-reset consistency: every counter a benchmark reads must clear.
+
+Benchmarks discard warm-up iterations by calling ``reset_stats()`` /
+``reset()``; a counter that survives the reset silently inflates the
+measured window.  These tests pin the full reset surface across the
+caches, Breakdown, ServingStats, the backends and the FTL.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.embcache import DirectMappedEmbeddingCache
+from repro.embedding.backends.ssd import SsdSlsBackend
+from repro.embedding.caches import SetAssociativeLru, StaticPartitionCache
+from repro.embedding.spec import TableSpec
+from repro.embedding.table import EmbeddingTable
+from repro.ftl.pagecache import PageCache
+from repro.host.system import build_system
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Breakdown
+from repro.serving.stats import ServingStats
+from repro.serving.request import InferenceRequest
+
+
+def vec(x):
+    return np.full(4, float(x), dtype=np.float32)
+
+
+def test_lru_reset_clears_all_counters_keeps_contents():
+    cache = SetAssociativeLru(4, ways=2)
+    for k in range(8):
+        cache.insert(k, vec(k))
+    cache.lookup(7)
+    cache.lookup(100)
+    assert cache.hits and cache.misses and cache.evictions
+    occupancy = cache.occupancy
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+    assert cache.hit_rate == 0.0
+    assert cache.occupancy == occupancy  # contents survive, stats don't
+
+
+def test_partition_reset():
+    part = StaticPartitionCache(np.array([1, 2]), np.zeros((2, 4), np.float32))
+    part.partition_mask(np.array([1, 9]))
+    part.reset_stats()
+    assert (part.hits, part.misses) == (0, 0)
+
+
+def test_page_cache_reset_clears_all_counters():
+    cache = PageCache(2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.insert(3, "c")          # evicts
+    cache.pin(2)
+    cache.pin(3)
+    cache.insert(4, "d")          # everything pinned -> insert failure
+    cache.lookup(2)
+    cache.lookup(99)
+    assert cache.evictions and cache.insert_failures
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.evictions, cache.insert_failures) == (
+        0, 0, 0, 0,
+    )
+
+
+def test_embcache_reset_clears_all_counters():
+    cache = DirectMappedEmbeddingCache(1)
+    cache.insert(0, 1, vec(1))
+    cache.insert(0, 2, vec(2))    # conflict eviction
+    cache.lookup(0, 2)
+    cache.lookup(0, 1)
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.conflict_evictions, cache.inserts) == (
+        0, 0, 0, 0,
+    )
+    assert cache.occupancy == 1   # contents survive
+
+
+def test_breakdown_reset():
+    bd = Breakdown({"a": 1.0})
+    bd.add("b", 2.0)
+    bd.reset()
+    assert bd.components == {}
+    assert bd.total == 0.0
+
+
+def test_serving_stats_reset():
+    sim = Simulator()
+    stats = ServingStats(sim)
+    req = InferenceRequest(model="m", batch=None)
+    req.t_arrival = 0.0
+    stats.record_arrival(req)
+    req.t_dispatch = 0.1
+    req.t_done = 0.2
+    stats.record_dispatch([req])
+    stats.record_completion(req)
+    assert stats.completed == 1 and stats.latencies
+    stats.reset()
+    assert stats.submitted == 0
+    assert stats.completed == 0
+    assert stats.rejected == 0
+    assert stats.batches_dispatched == 0
+    assert stats.latencies == [] and stats.queue_delays == []
+    assert stats.completed_by_model == {}
+    assert stats.first_arrival is None and stats.last_completion is None
+    assert stats.requests_per_batch.count == 0
+    assert stats.throughput_rps() == 0.0
+    # In-flight tracking carries across the reset window.
+    assert stats.inflight == 0
+    assert stats.max_inflight == 0
+
+
+def test_benchmark_window_does_not_inherit_warmup():
+    """The bench pattern: warm up, reset, measure — second window only."""
+    system = build_system(min_capacity_pages=1 << 16)
+    table = EmbeddingTable(TableSpec(name="t", rows=4096, dim=8))
+    table.attach(system.device)
+    cache = SetAssociativeLru(256, ways=16)
+    backend = SsdSlsBackend(system, table, host_cache=cache)
+    rng = np.random.default_rng(0)
+    bags = [rng.integers(0, 4096, size=16) for _ in range(8)]
+    backend.run_sync(bags)  # warm-up
+    cache.reset_stats()
+    backend.reset_stats()
+    system.device.ftl.reset_stats()
+    result = backend.run_sync(bags)
+    assert backend.ops == 1
+    assert cache.hits + cache.misses == int(result.stats["lookups"])
+    assert system.device.ftl.host_page_reads <= int(result.stats["commands"]) * 2

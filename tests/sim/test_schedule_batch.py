@@ -1,0 +1,74 @@
+"""Bulk event scheduling and the Server on_start hook."""
+
+import pytest
+
+from repro.sim.kernel import SimError, Simulator
+from repro.sim.resources import Server
+
+
+class TestScheduleBatch:
+    def test_fires_in_order_on_empty_heap(self, sim):
+        order = []
+        sim.schedule_batch([1e-6, 2e-6, 3e-6], [lambda i=i: order.append(i) for i in range(3)])
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_interleaves_with_singly_scheduled_events(self, sim):
+        order = []
+        sim.schedule(2.5e-6, lambda: order.append("single"))
+        sim.schedule_batch(
+            [1e-6, 2e-6, 3e-6], [lambda i=i: order.append(i) for i in range(3)]
+        )
+        sim.run()
+        assert order == [0, 1, "single", 2]
+
+    def test_ties_fire_in_batch_order_after_existing(self, sim):
+        order = []
+        sim.schedule(1e-6, lambda: order.append("first"))
+        sim.schedule_batch([1e-6, 1e-6], [lambda: order.append("a"), lambda: order.append("b")])
+        sim.run()
+        assert order == ["first", "a", "b"]
+
+    def test_rejects_descending_times(self, sim):
+        with pytest.raises(SimError):
+            sim.schedule_batch([2e-6, 1e-6], [lambda: None, lambda: None])
+
+    def test_rejects_past(self, sim):
+        sim.schedule(1e-6, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule_batch([0.0], [lambda: None])
+
+    def test_empty_batch_is_noop(self, sim):
+        sim.schedule_batch([], [])
+        assert sim.pending_events == 0
+
+    def test_length_mismatch(self, sim):
+        with pytest.raises(SimError):
+            sim.schedule_batch([1e-6], [])
+
+
+class TestServerOnStart:
+    def test_on_start_runs_immediately_on_free_server(self, sim):
+        server = Server(sim, capacity=1)
+        starts = []
+        server.submit(1e-6, lambda: None, on_start=lambda: starts.append(sim.now))
+        assert starts == [0.0]
+        sim.run()
+
+    def test_on_start_rejected_on_busy_server(self, sim):
+        """A queued on_start job would replay a stale precomputed end time."""
+        server = Server(sim, capacity=1)
+        server.submit(2e-6, lambda: None)
+        with pytest.raises(SimError):
+            server.submit(1e-6, lambda: None, on_start=lambda: None)
+
+    def test_on_start_end_override(self, sim):
+        """Returning an absolute end pins the server-free time exactly."""
+        server = Server(sim, capacity=1)
+        done = []
+        server.submit(1e-6, lambda: done.append(sim.now), on_start=lambda: 5e-6)
+        server.submit(1e-6, lambda: done.append(sim.now))
+        sim.run()
+        # Second job starts only once the first frees the server at 5us.
+        assert done == pytest.approx([5e-6, 6e-6])
