@@ -2,26 +2,64 @@
 """Serving demo: concurrent multi-model inference over one or more SSDs.
 
 Registers two models on one :class:`~repro.serving.InferenceServer` —
-an embedding-dominated DLRM on the RecSSD NDP path (two SSD replicas)
-and an MLP-dominated Wide&Deep in host DRAM — then drives mixed
+an embedding-dominated DLRM on the RecSSD NDP path (spread over two
+SSDs) and an MLP-dominated Wide&Deep in host DRAM — then drives mixed
 open-loop Poisson traffic at them and prints per-model throughput and
 tail latency, plus the device-side evidence that SLS requests from
 different users genuinely overlapped inside the FTL.
 
+``--sharding`` picks how the DLRM uses its two SSDs (see
+``docs/SERVING.md``):
+
+* ``replicate`` (default) — whole-model copies, coalesced batches
+  round-robin across the devices.
+* ``table`` — each embedding table lives wholly on one device; every
+  batch fans out to both devices concurrently.
+* ``row`` — the tables are row-partitioned (modulo hash) so even one
+  table's lookups spread across both devices' flash channels; partial
+  sums merge host-side.
+
 Run with::
 
     PYTHONPATH=src python examples/serving_demo.py
+    PYTHONPATH=src python examples/serving_demo.py --sharding row
 """
+
+import argparse
 
 from repro.core.engine import NdpEngineConfig
 from repro.host.system import build_system
 from repro.models.dlrm import DlrmConfig, DlrmModel
 from repro.models.runner import BackendKind, required_capacity_pages
 from repro.models.zoo import build_model
-from repro.serving import InferenceServer, ServingConfig, run_offered_load
+from repro.serving import (
+    InferenceServer,
+    RowShardPolicy,
+    ServingConfig,
+    TableShardPolicy,
+    run_offered_load,
+)
+
+# None selects the legacy replicate path (ReplicatePolicy is equivalent).
+POLICIES = {
+    "replicate": lambda: None,
+    "table": lambda: TableShardPolicy(),
+    "row": lambda: RowShardPolicy(threshold_rows=8192),
+}
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sharding",
+        choices=sorted(POLICIES),
+        default="replicate",
+        help="how the DLRM spreads over its two SSDs",
+    )
+    args = parser.parse_args()
+
+    # An embedding-dominated DLRM (the workload RecSSD accelerates) and
+    # an MLP-dominated Wide&Deep that stays in host DRAM.
     rm = DlrmModel(
         DlrmConfig(
             name="rm-small", dense_in=16, bottom_mlp=(32, 16), top_mlp=(32, 16),
@@ -31,6 +69,9 @@ def main() -> None:
     )
     wnd = build_model("wnd", seed=4, table_rows=8_192)
 
+    # queue_when_full: the device holds overflowing NDP config writes
+    # (queue-depth backpressure) instead of failing them — required for
+    # serving-level concurrency.
     system = build_system(
         min_capacity_pages=required_capacity_pages(rm),
         ndp=NdpEngineConfig(queue_when_full=True),
@@ -39,13 +80,22 @@ def main() -> None:
         system,
         ServingConfig(max_batch_requests=4, max_inflight_batches_per_worker=2),
     )
-    server.register_model(rm, BackendKind.NDP, num_workers=2)   # 2 SSD replicas
+    server.register_model(
+        rm,
+        BackendKind.NDP,
+        num_workers=2,                        # two attached SSDs
+        sharding=POLICIES[args.sharding](),
+    )
     server.register_model(wnd, BackendKind.DRAM)
-    print(f"registered {list(server.models)} on {len(system.devices)} SSD(s)")
+    print(
+        f"registered {list(server.models)} on {len(system.devices)} SSD(s), "
+        f"rm-small sharding={args.sharding}"
+    )
 
+    # Mixed open-loop Poisson traffic; deterministic for a given seed.
     stats = run_offered_load(
         server,
-        {"rm-small": 800.0, "wnd": 800.0},   # mixed traffic, requests/s each
+        {"rm-small": 800.0, "wnd": 800.0},   # requests/s each
         n_requests=50,
         batch_size=2,
         seed=42,
@@ -67,6 +117,18 @@ def main() -> None:
     )
     for name, count in sorted(stats.completed_by_model.items()):
         print(f"  {name:9} completed {count}")
+
+    # Per-device embedding work: which SSD served how many lookups.  In
+    # replicate mode whole batches alternate between the devices; in the
+    # sharded modes every batch touches both.
+    print("\nper-shard embedding work (ServingStats.shard_summary):")
+    for model_name, per_shard in sorted(stats.shard_summary().items()):
+        for shard, row in per_shard.items():
+            print(
+                f"  {model_name:9} shard{shard}: {row['batches']:.0f} batches, "
+                f"{row['sub_ops']:.0f} SLS ops, {row['lookups']:.0f} lookups, "
+                f"busy {row['busy_s'] * 1e3:.2f}ms"
+            )
 
     print("\nper-device NDP engine concurrency:")
     for i, device in enumerate(system.devices):

@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["TableData", "DenseTableData", "VirtualTableData"]
+__all__ = ["TableData", "DenseTableData", "VirtualTableData", "MappedTableData"]
 
 _STAMP_PRIME = 1_000_003
 _HASH_MULT = 2_654_435_761
@@ -81,3 +81,30 @@ class VirtualTableData(TableData):
         stamp = ((ids * _HASH_MULT + self.seed) % _STAMP_PRIME).astype(np.float32)
         out[:, 0] = stamp / _STAMP_PRIME - 0.5
         return out
+
+
+class MappedTableData(TableData):
+    """A shard-local view of a parent table: local id ``l`` is parent row
+    ``global_ids[l]``.
+
+    This is the data half of the shard-local id remapping invariant (see
+    ``docs/ARCHITECTURE.md``): a row shard stores the same raw vectors as
+    the parent table, just re-indexed, so any backend serving the shard
+    produces bit-identical per-row values to the parent serving the
+    corresponding global ids.
+    """
+
+    def __init__(self, parent: TableData, global_ids: np.ndarray):
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if global_ids.ndim != 1 or global_ids.size < 1:
+            raise ValueError("global_ids must be a non-empty 1-D array")
+        if global_ids.min() < 0 or global_ids.max() >= parent.rows:
+            raise ValueError("global_ids out of parent range")
+        self.parent = parent
+        self.global_ids = global_ids
+        self.rows = int(global_ids.size)
+        self.dim = parent.dim
+
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        return self.parent.get_rows(self.global_ids[ids])

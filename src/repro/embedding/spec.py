@@ -63,3 +63,16 @@ class TableSpec:
 
     def with_name(self, name: str) -> "TableSpec":
         return TableSpec(name, self.rows, self.dim, self.quant, self.layout)
+
+    def shard(self, shard_index: int, rows: int) -> "TableSpec":
+        """Spec for one row shard of this table.
+
+        Same dim/quant/layout; ``rows`` is the shard-local row count and
+        the name is suffixed so the shard is distinguishable in logs and
+        on-device placement (``events@s2`` is shard 2 of ``events``).
+        """
+        if rows < 1:
+            raise ValueError("a row shard must own at least one row")
+        return TableSpec(
+            f"{self.name}@s{shard_index}", rows, self.dim, self.quant, self.layout
+        )

@@ -22,11 +22,21 @@ __all__ = ["EmbStageResult", "EmbeddingStage"]
 
 @dataclass
 class EmbStageResult:
+    """One embedding stage's output: per-table pooled values + accounting.
+
+    ``per_shard`` is only populated by the serving layer's scatter-gather
+    stage (:class:`~repro.serving.sharding.ShardedEmbeddingStage`): it
+    maps shard index -> table name -> that shard's partial
+    :class:`SlsOpResult` for this batch, while ``values``/``per_table``
+    always hold the merged (full) result.
+    """
+
     values: Dict[str, np.ndarray]
     per_table: Dict[str, SlsOpResult]
     start_time: float
     end_time: float
     breakdown: Breakdown = field(default_factory=Breakdown)
+    per_shard: Dict[int, Dict[str, SlsOpResult]] = field(default_factory=dict)
 
     @property
     def latency(self) -> float:

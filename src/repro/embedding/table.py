@@ -16,7 +16,7 @@ import numpy as np
 from ..core.config import SlsConfig, build_pairs
 from ..quant import decode_vectors, encode_vectors
 from ..ssd.device import SsdDevice
-from .data import TableData, VirtualTableData
+from .data import MappedTableData, TableData, VirtualTableData
 from .spec import Layout, TableSpec
 
 __all__ = ["TablePageContent", "TableRegion", "EmbeddingTable"]
@@ -88,6 +88,29 @@ class EmbeddingTable:
         self.device: Optional[SsdDevice] = None
         self.base_lba: Optional[int] = None
         self._page_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def row_shard(self, global_ids: np.ndarray, shard_index: int) -> "EmbeddingTable":
+        """A shard-local table owning this table's rows ``global_ids``.
+
+        The invariant (relied on by the serving layer's scatter-gather
+        path): shard-local id ``l`` addresses the same vector as global id
+        ``global_ids[l]`` in this table, so
+        ``shard.get_rows(local) == parent.get_rows(global_ids[local])``
+        bit-for-bit.  ``global_ids`` must be strictly ascending so that
+        sorting by local id preserves the parent's sorted-by-global-id
+        accumulation order inside order-sensitive backends (the NDP
+        engine sums pairs sorted by input id).
+        """
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if global_ids.size > 1 and not np.all(np.diff(global_ids) > 0):
+            raise ValueError("global_ids must be strictly ascending")
+        return EmbeddingTable(
+            self.spec.shard(shard_index, int(global_ids.size)),
+            data=MappedTableData(self.data, global_ids),
+        )
 
     # ------------------------------------------------------------------
     # Placement

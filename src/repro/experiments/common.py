@@ -15,7 +15,46 @@ __all__ = [
     "render_table",
     "locality_samplers",
     "speedup",
+    "assert_policy_equivalence",
 ]
+
+
+def assert_policy_equivalence(
+    make_model: Callable[[], RecModel],
+    make_server: Callable[[RecModel, str], object],
+    policy_names: Sequence[str],
+    batch_size: int = 4,
+    seed: int = 17,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> None:
+    """Push one fixed batch through every sharding policy; pooled sums
+    must agree (up to float32 accumulation order).
+
+    Shared by ``experiments/ext_multi_ssd.py`` and
+    ``benchmarks/bench_sharding.py`` so the equivalence contract (batch
+    shape, tolerance) lives in one place.  ``make_server(model, name)``
+    builds a fresh :class:`~repro.serving.InferenceServer` with ``model``
+    registered under the named policy.
+    """
+    rng = np.random.default_rng(seed)
+    batch = make_model().sample_batch(rng, batch_size)
+    reference = None
+    for policy_name in policy_names:
+        model = make_model()
+        server = make_server(model, policy_name)
+        request = server.submit(model.name, batch)
+        server.run_until_settled()
+        if reference is None:
+            reference = request.values
+            continue
+        for name in reference:
+            if not np.allclose(
+                request.values[name], reference[name], rtol=rtol, atol=atol
+            ):
+                raise AssertionError(
+                    f"{policy_name} sharding changed pooled results for {name}"
+                )
 
 
 @dataclass

@@ -83,21 +83,27 @@ def build_backends(
     device=None,
     tables: Optional[Dict[str, "EmbeddingTable"]] = None,
     partition_profiles: Optional[Dict[str, List[np.ndarray]]] = None,
+    features: Optional[Sequence] = None,
 ) -> tuple[Dict[str, object], Dict[str, SetAssociativeLru], Dict[str, StaticPartitionCache]]:
     """Construct one SLS backend per model table on ``system``.
 
     ``device`` selects which attached SSD serves the tables (default: the
-    primary); ``tables`` substitutes replica tables (the serving layer
-    shards/replicates models across devices this way).  Returns
+    primary); ``tables`` substitutes replica or shard-local tables (the
+    serving layer replicates/shards models across devices this way).
+    ``features`` restricts construction to a subset of the model's sparse
+    features — the shard-aware path builds only the table pieces a given
+    device owns (keys of ``tables`` and the returned dicts stay the
+    *feature* names even when a shard table's spec is suffixed).  Returns
     ``(backends, host_caches, partitions)``; the cache dicts are only
     populated for the backend kinds that use them.
     """
     device = device if device is not None else system.device
     tables = tables if tables is not None else model.tables
+    features = list(features) if features is not None else model.features
     backends: Dict[str, object] = {}
     host_caches: Dict[str, SetAssociativeLru] = {}
     partitions: Dict[str, StaticPartitionCache] = {}
-    for feature in model.features:
+    for feature in features:
         table = tables[feature.name]
         if config.kind is BackendKind.DRAM:
             backends[feature.name] = DramSlsBackend(system, table)

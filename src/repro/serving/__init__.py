@@ -11,20 +11,39 @@ load shape against the simulated stack:
 * :class:`~repro.serving.scheduler.BatchScheduler` — coalesces queued
   requests into batched SLS operations and keeps several outstanding per
   worker, across one or many attached SSDs.
+* :mod:`repro.serving.sharding` — cross-SSD placement policies
+  (:class:`~repro.serving.sharding.ReplicatePolicy`,
+  :class:`~repro.serving.sharding.TableShardPolicy`,
+  :class:`~repro.serving.sharding.RowShardPolicy`) and the
+  scatter-gather stage that splits one coalesced batch across the
+  devices owning its table pieces and merges partial sums host-side.
 * :class:`~repro.serving.stats.ServingStats` — per-request latency
-  percentiles (p50/p95/p99) and throughput.
+  percentiles (p50/p95/p99), throughput and per-shard work breakdowns.
 * :class:`~repro.serving.server.InferenceServer` — ties it together;
   :func:`~repro.serving.server.run_offered_load` drives open-loop
   Poisson experiments.
 
-See ``examples/serving_demo.py`` and
-``benchmarks/bench_serving_throughput.py``.
+See ``docs/SERVING.md`` for the request lifecycle walkthrough,
+``examples/serving_demo.py`` for a runnable tour, and
+``benchmarks/bench_serving_throughput.py`` /
+``benchmarks/bench_sharding.py`` for the load benchmarks.
 """
 
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
 from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
 from .server import InferenceServer, ServingConfig, run_offered_load
+from .sharding import (
+    LookupRowMapping,
+    ModuloRowMapping,
+    ReplicatePolicy,
+    RowShardPolicy,
+    ShardedEmbeddingStage,
+    ShardingPolicy,
+    ShardPlan,
+    TablePlacement,
+    TableShardPolicy,
+)
 from .stats import ServingStats
 
 __all__ = [
@@ -38,4 +57,13 @@ __all__ = [
     "InferenceServer",
     "ServingConfig",
     "run_offered_load",
+    "ShardingPolicy",
+    "ReplicatePolicy",
+    "TableShardPolicy",
+    "RowShardPolicy",
+    "ShardPlan",
+    "TablePlacement",
+    "ModuloRowMapping",
+    "LookupRowMapping",
+    "ShardedEmbeddingStage",
 ]

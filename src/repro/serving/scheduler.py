@@ -6,12 +6,19 @@ gap between RecSSD and the COTS baseline grows with lookups per command)
 — while keeping *multiple* coalesced batches outstanding so the device
 sees genuinely overlapping SLS commands.
 
-Each model owns one or more :class:`ModelWorker` dispatch targets; a
-worker is the model's tables wired to SLS backends on one attached SSD
-(or host DRAM).  Multi-device systems get one worker per device, so
-coalesced batches round-robin across SSDs and their flash bandwidth adds
-up.  Within a device, concurrency comes from the engine's pending-request
-buffer; across devices, from the workers.
+Each model owns one or more :class:`ModelWorker` dispatch targets.  In
+replicate mode a worker is the model's full tables wired to SLS backends
+on one attached SSD (or host DRAM) and coalesced batches round-robin
+across the per-device workers.  In sharded mode
+(:mod:`repro.serving.sharding`) the model has a single worker whose
+stage is a :class:`~repro.serving.sharding.ShardedEmbeddingStage`: each
+coalesced batch *scatters* into per-shard sub-batches dispatched
+concurrently to every device owning a table piece, and the partial sums
+*gather* host-side.  Either way the scheduler only sees the
+``stage.start(bags_by_table, on_done)`` contract; per-shard work is
+credited to :class:`~repro.serving.stats.ServingStats` from the result's
+``per_shard`` breakdown (scatter-gather) or the worker's device index
+(replicate).
 """
 
 from __future__ import annotations
@@ -47,7 +54,10 @@ class SchedulerConfig:
 
 
 class ModelWorker:
-    """One dispatch target: a model's SLS backends on one device."""
+    """One dispatch target: a model's SLS backends on one device — or,
+    for a sharded registration, its scatter-gather stage spanning every
+    device (``device_index`` is ``-1`` then; ``stage`` is any object
+    honouring ``start(bags_by_table, on_done)``)."""
 
     def __init__(self, model: RecModel, stage: EmbeddingStage, device_index: int = 0):
         self.model = model
@@ -56,9 +66,14 @@ class ModelWorker:
         self.inflight_batches = 0
         self.batches_done = 0
 
+    @property
+    def sharded(self) -> bool:
+        return self.device_index < 0
+
     def __repr__(self) -> str:
+        device = "sharded" if self.sharded else f"device={self.device_index}"
         return (
-            f"ModelWorker({self.model.name}, device={self.device_index}, "
+            f"ModelWorker({self.model.name}, {device}, "
             f"inflight={self.inflight_batches})"
         )
 
@@ -158,6 +173,7 @@ class BatchScheduler:
         worker.inflight_batches -= 1
         worker.batches_done += 1
         now = self.sim.now
+        self._record_shard_work(worker, result)
         for request, span in zip(requests, spans):
             request.t_emb_done = now
             request.values = {
@@ -166,3 +182,27 @@ class BatchScheduler:
         self.on_batch_done(requests)
         # A batch slot just freed; pull in whatever queued behind it.
         self.pump()
+
+    def _record_shard_work(self, worker: ModelWorker, result: EmbStageResult) -> None:
+        """Credit the batch's embedding work to the device(s) that ran it."""
+        model = worker.model.name
+        if result.per_shard:
+            for shard, pieces in result.per_shard.items():
+                self.stats.record_shard_work(
+                    model,
+                    shard,
+                    lookups=sum(r.stats.get("lookups", 0.0) for r in pieces.values()),
+                    sub_ops=len(pieces),
+                    busy_s=(
+                        max(r.end_time for r in pieces.values())
+                        - min(r.start_time for r in pieces.values())
+                    ),
+                )
+        else:
+            self.stats.record_shard_work(
+                model,
+                worker.device_index,
+                lookups=result.stat_total("lookups"),
+                sub_ops=len(result.per_table),
+                busy_s=result.latency,
+            )

@@ -16,6 +16,13 @@ into batched SLS operations, dispatches them concurrently across the
 registered backends and attached SSDs, and runs each request's dense
 tower on the (serialized) host NN workers — the serving shape the paper
 evaluates, with per-request p50/p95/p99 tracked in :class:`ServingStats`.
+
+``register_model(..., num_workers=N, sharding=policy)`` spreads one
+model over N SSDs: whole-model replication (default, batches
+round-robin), or table/row sharding from
+:mod:`repro.serving.sharding`, where every coalesced batch scatters to
+the devices owning its table pieces and partial sums gather host-side.
+The full lifecycle and knobs are documented in ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from ..models.runner import BackendKind, RunnerConfig, build_backends
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
 from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
+from .sharding import ReplicatePolicy, ShardedEmbeddingStage, ShardingPolicy
 from .stats import ServingStats
 
 __all__ = ["ServingConfig", "InferenceServer", "run_offered_load"]
@@ -97,14 +105,27 @@ class InferenceServer:
         runner_config: Optional[RunnerConfig] = None,
         num_workers: int = 1,
         partition_profiles=None,
+        sharding: Optional[ShardingPolicy] = None,
     ) -> List[ModelWorker]:
         """Wire ``model``'s tables to ``kind`` backends and accept its traffic.
 
-        ``num_workers`` > 1 replicates the model across that many attached
-        SSDs (devices are added to the system as needed; replicas share
-        the primary tables' data source, so results are identical).  DRAM
-        backends ignore the device count but still gain concurrent
-        dispatch slots per extra worker.
+        ``num_workers`` > 1 spreads the model across that many attached
+        SSDs (devices are added to the system as needed); ``sharding``
+        picks how:
+
+        * ``None`` or :class:`~repro.serving.sharding.ReplicatePolicy`
+          (the default, bit-identical legacy behaviour) — whole-model
+          replicas, one :class:`ModelWorker` per device, coalesced
+          batches round-robin across them.  Replicas share the primary
+          tables' data source, so results are identical.  DRAM backends
+          ignore the device count but still gain concurrent dispatch
+          slots per extra worker.
+        * :class:`~repro.serving.sharding.TableShardPolicy` /
+          :class:`~repro.serving.sharding.RowShardPolicy` — tables (or
+          rows of large tables) are partitioned across the devices and
+          the model gets a single scatter-gather worker: every coalesced
+          batch fans out to the devices owning its table pieces and the
+          partial sums merge host-side.  See ``docs/SERVING.md``.
         """
         if model.name in self.models:
             raise ValueError(f"model {model.name!r} already registered")
@@ -113,6 +134,27 @@ class InferenceServer:
         config = runner_config or RunnerConfig(kind=kind)
         if config.kind is not kind:
             raise ValueError("runner_config.kind must match kind")
+        if sharding is not None and not isinstance(sharding, ReplicatePolicy):
+            pool = self._register_sharded(
+                model, kind, config, num_workers, partition_profiles, sharding
+            )
+        else:
+            pool = self._register_replicated(
+                model, kind, config, num_workers, partition_profiles
+            )
+        self.models[model.name] = model
+        self.workers[model.name] = pool
+        return pool
+
+    def _register_replicated(
+        self,
+        model: RecModel,
+        kind: BackendKind,
+        config: RunnerConfig,
+        num_workers: int,
+        partition_profiles,
+    ) -> List[ModelWorker]:
+        """Legacy path: one full-model worker per device, round-robin."""
         # Validate everything up front: a rejected registration must not
         # leave added devices, attached replicas or inflated projections
         # behind (devices added by add_device cannot be removed again).
@@ -133,9 +175,7 @@ class InferenceServer:
                 device = self.system.device
                 tables = model.tables
             else:
-                while index >= len(self.system.devices):
-                    self.system.add_device(self.system.device.config)
-                device = self.system.devices[index]
+                device = self._device_for_shard(index)
                 tables = {
                     f.name: EmbeddingTable(f.spec, data=model.tables[f.name].data)
                     for f in model.features
@@ -151,16 +191,106 @@ class InferenceServer:
             pool.append(
                 ModelWorker(model, EmbeddingStage(backends), device_index=index)
             )
+        self._commit_ndp_projection(pending_entries)
+        return pool
+
+    def _register_sharded(
+        self,
+        model: RecModel,
+        kind: BackendKind,
+        config: RunnerConfig,
+        num_workers: int,
+        partition_profiles,
+        sharding: ShardingPolicy,
+    ) -> List[ModelWorker]:
+        """Scatter-gather path: table/row pieces spread over the devices.
+
+        The model gets one :class:`ModelWorker` whose stage is a
+        :class:`~repro.serving.sharding.ShardedEmbeddingStage`; the
+        scheduler's ``max_inflight_batches_per_worker`` then bounds the
+        number of concurrently-scattered batches.
+        """
+        plan = sharding.plan(model, num_workers)
+        plan.validate([f.name for f in model.features])
+        pieces_by_shard = {
+            shard: plan.tables_on(shard) for shard in range(num_workers)
+        }
+        # Upfront validation, same contract as the replicate path.
+        pending_entries: Dict[int, int] = {}
+        if kind is BackendKind.NDP:
+            for shard, names in pieces_by_shard.items():
+                if names:
+                    self._check_ndp_capacity(
+                        model, shard, pending_entries, tables_per_batch=len(names)
+                    )
+            if config.partition_entries > 0:
+                for feature in model.features:
+                    if plan.placements[feature.name].mapping is not None:
+                        raise ValueError(
+                            f"partition_entries is not supported for "
+                            f"row-sharded tables ({feature.name!r}); use "
+                            f"TableShardPolicy or drop the partition"
+                        )
+                    if (partition_profiles or {}).get(feature.name) is None:
+                        raise ValueError(
+                            f"partition requested but no profile for "
+                            f"{feature.name}"
+                        )
+        features_by_name = {f.name: f for f in model.features}
+        backends_by_shard: Dict[int, Dict[str, object]] = {}
+        for shard in range(num_workers):
+            names = pieces_by_shard[shard]
+            if not names:
+                continue
+            device = (
+                self.system.device
+                if (kind is BackendKind.DRAM or shard == 0)
+                else self._device_for_shard(shard)
+            )
+            tables = {}
+            for name in names:
+                placement = plan.placements[name]
+                if placement.mapping is None:
+                    # Whole table: the primary instance lives on (only)
+                    # its home device, keeping results bit-identical.
+                    tables[name] = model.tables[name]
+                else:
+                    tables[name] = model.tables[name].row_shard(
+                        placement.mapping.global_ids(shard), shard
+                    )
+            backends, _caches, _partitions = build_backends(
+                model,
+                config,
+                self.system,
+                device=device,
+                tables=tables,
+                partition_profiles=partition_profiles,
+                features=[features_by_name[name] for name in names],
+            )
+            backends_by_shard[shard] = backends
+        self._commit_ndp_projection(pending_entries)
+        stage = ShardedEmbeddingStage(plan, backends_by_shard)
+        return [ModelWorker(model, stage, device_index=-1)]
+
+    def _device_for_shard(self, index: int):
+        """The ``index``-th attached SSD, adding clones of the primary's
+        config until it exists."""
+        while index >= len(self.system.devices):
+            self.system.add_device(self.system.device.config)
+        return self.system.devices[index]
+
+    def _commit_ndp_projection(self, pending_entries: Dict[int, int]) -> None:
         for index, count in pending_entries.items():
             self._projected_ndp_entries[index] = (
                 self._projected_ndp_entries.get(index, 0) + count
             )
-        self.models[model.name] = model
-        self.workers[model.name] = pool
-        return pool
 
     def _check_ndp_capacity(
-        self, model: RecModel, device_index: int, pending_entries: Dict[int, int]
+        self,
+        model: RecModel,
+        device_index: int,
+        pending_entries: Dict[int, int],
+        tables_per_batch: Optional[int] = None,
     ) -> None:
         """Fail registration, not serving, when the NDP buffer can overflow.
 
@@ -169,22 +299,25 @@ class InferenceServer:
         ``max_queued_configs`` hold limit with it — and a rejection
         surfaces as a hard :class:`~repro.driver.ndp.NdpError` mid-run.
         The scheduler keeps at most ``max_inflight_batches_per_worker``
-        batches (one SLS op per table each) outstanding per worker, so
-        the worst case per device is the sum of ``tables * batches`` over
-        the models it serves; refuse registrations that could exceed the
-        device's capacity.  Projections are keyed by device index (the
-        device may not exist yet; ones added later clone the primary's
-        config); increments accumulate in ``pending_entries`` and are
-        committed by the caller on success.
+        batches outstanding per worker; each batch puts one SLS op per
+        table *piece* on the device — all the model's tables for a
+        replica, or ``tables_per_batch`` (the pieces a shard plan places
+        there) for a sharded registration.  Refuse registrations that
+        could exceed the device's capacity.  Projections are keyed by
+        device index (the device may not exist yet; ones added later
+        clone the primary's config); increments accumulate in
+        ``pending_entries`` and are committed by the caller on success.
         """
         if device_index < len(self.system.devices):
             device_config = self.system.devices[device_index].config
         else:
             device_config = self.system.device.config
         engine_config = device_config.ndp
+        if tables_per_batch is None:
+            tables_per_batch = len(model.features)
         pending_entries[device_index] = pending_entries.get(
             device_index, 0
-        ) + len(model.features) * self.config.max_inflight_batches_per_worker
+        ) + tables_per_batch * self.config.max_inflight_batches_per_worker
         projected = (
             self._projected_ndp_entries.get(device_index, 0)
             + pending_entries[device_index]

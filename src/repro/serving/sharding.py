@@ -1,0 +1,561 @@
+"""Cross-SSD table sharding policies and the scatter-gather embedding stage.
+
+``register_model(num_workers=N)`` historically *replicated* a whole model
+onto N attached SSDs; throughput scaled only because coalesced batches
+round-robined across full copies.  This module instead spreads the
+*tables* — and, for the large ones, the *rows* — across devices, the way
+RecNMP-style systems scale embedding capacity and parallelism beyond one
+device:
+
+* :class:`ReplicatePolicy` — the legacy behaviour (whole-model copies,
+  round-robin batches).  Kept as the default and bit-identical baseline.
+* :class:`TableShardPolicy` — each table lives wholly on exactly one
+  device, assigned greedily so per-device load (bytes or traffic)
+  balances.  Every table's batched SLS op is unchanged — it just runs on
+  its home device — so pooled results equal replicate mode exactly on
+  the order-deterministic DRAM backend and up to device-side float32
+  accumulation order on ssd/ndp (page-arrival order shifts when tables
+  spread out; the same caveat the repo's bit-for-bit backend checks
+  carry).
+* :class:`RowShardPolicy` — tables at or above ``threshold_rows`` are
+  partitioned row-wise across all devices (modulo hash by default, or
+  frequency ranges when a traffic profile is supplied, after RecFlash's
+  frequency-based data mapping); smaller tables are whole-assigned like
+  :class:`TableShardPolicy`.  Each device returns partial sums, merged
+  host-side, so per-bag float accumulation order changes — results are
+  equal to replicate mode up to float32 summation order.
+
+:class:`ShardedEmbeddingStage` is the scatter-gather executor the
+:class:`~repro.serving.scheduler.BatchScheduler` drives: it splits one
+coalesced batch's bags into per-shard sub-batches with shard-local ids
+(one vectorized :func:`~repro.core.vecops.group_slices` pass), dispatches
+them concurrently to every device's backend (dram | ssd | ndp), and
+merges the partial sums host-side.  The shard-local id remapping
+invariant it relies on lives in
+:meth:`~repro.embedding.table.EmbeddingTable.row_shard`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.vecops import group_slices
+from ..embedding.backends.base import SlsBackend, SlsOpResult, flatten_bags
+from ..embedding.stage import EmbStageResult
+from ..embedding.table import EmbeddingTable
+from ..sim.stats import Breakdown
+
+__all__ = [
+    "RowMapping",
+    "ModuloRowMapping",
+    "LookupRowMapping",
+    "TablePlacement",
+    "ShardPlan",
+    "ShardingPolicy",
+    "ReplicatePolicy",
+    "TableShardPolicy",
+    "RowShardPolicy",
+    "scatter_bags",
+    "ShardedEmbeddingStage",
+]
+
+
+# ----------------------------------------------------------------------
+# Row mappings: global id <-> (shard, local id)
+# ----------------------------------------------------------------------
+class RowMapping(ABC):
+    """How one table's global row ids map onto shard-local ids.
+
+    The contract every implementation upholds (the id-remap invariant):
+
+    * every global id belongs to exactly one shard;
+    * ``global_ids(s)`` is strictly ascending and ``local_ids`` is its
+      inverse, so local order preserves global order within a shard
+      (order-sensitive backends accumulate identically to the unsharded
+      table restricted to that shard's rows).
+    """
+
+    rows: int
+    num_shards: int
+
+    @abstractmethod
+    def shard_of(self, ids: np.ndarray) -> np.ndarray:
+        """Owning shard index for each global id (vectorized)."""
+
+    @abstractmethod
+    def local_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Shard-local id for each global id (vectorized)."""
+
+    @abstractmethod
+    def global_ids(self, shard: int) -> np.ndarray:
+        """Ascending global ids owned by ``shard``."""
+
+    def shard_rows(self, shard: int) -> int:
+        return int(self.global_ids(shard).size)
+
+
+class ModuloRowMapping(RowMapping):
+    """Hash partitioning: global id ``g`` lives on shard ``g % N`` as
+    local id ``g // N`` (both closed-form; nothing materialized)."""
+
+    def __init__(self, rows: int, num_shards: int):
+        if num_shards < 1 or rows < num_shards:
+            raise ValueError("need rows >= num_shards >= 1")
+        self.rows = rows
+        self.num_shards = num_shards
+
+    def shard_of(self, ids: np.ndarray) -> np.ndarray:
+        return np.asarray(ids, dtype=np.int64) % self.num_shards
+
+    def local_ids(self, ids: np.ndarray) -> np.ndarray:
+        return np.asarray(ids, dtype=np.int64) // self.num_shards
+
+    def global_ids(self, shard: int) -> np.ndarray:
+        return np.arange(shard, self.rows, self.num_shards, dtype=np.int64)
+
+    def shard_rows(self, shard: int) -> int:
+        return len(range(shard, self.rows, self.num_shards))
+
+
+class LookupRowMapping(RowMapping):
+    """Arbitrary row→shard assignment backed by dense lookup arrays.
+
+    Built by :meth:`from_weights` for frequency-range partitioning:
+    rows are ranked by profiled traffic and the rank order is cut into
+    contiguous ranges of roughly equal total traffic, one per shard —
+    hot rows are spread deliberately instead of hashed blindly.
+    """
+
+    def __init__(self, shard_of: np.ndarray):
+        shard_of = np.asarray(shard_of, dtype=np.int64)
+        if shard_of.ndim != 1 or shard_of.size < 1:
+            raise ValueError("shard_of must be a non-empty 1-D array")
+        self.rows = int(shard_of.size)
+        self.num_shards = int(shard_of.max()) + 1
+        counts = np.bincount(shard_of, minlength=self.num_shards)
+        if counts.min() < 1:
+            raise ValueError("every shard must own at least one row")
+        self._shard_of = shard_of
+        # Local id = rank among the shard's rows in ascending global id:
+        # one cumulative count per shard, vectorized over all rows.
+        one = np.ones(self.rows, dtype=np.int64)
+        local = np.zeros(self.rows, dtype=np.int64)
+        for s in range(self.num_shards):
+            mask = shard_of == s
+            local[mask] = np.cumsum(one[mask]) - 1
+        self._local_of = local
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray, num_shards: int) -> "LookupRowMapping":
+        """Frequency-range partition: balance summed ``weights`` per shard."""
+        weights = np.asarray(weights, dtype=np.float64)
+        rows = weights.size
+        if rows < num_shards:
+            raise ValueError("need rows >= num_shards")
+        order = np.argsort(-weights, kind="stable")  # hottest first
+        shard_of_rank = np.empty(rows, dtype=np.int64)
+        total = float(weights.sum())
+        if total > 0:
+            csum = np.cumsum(weights[order])
+            cuts = np.searchsorted(
+                csum, total * np.arange(1, num_shards) / num_shards, side="left"
+            )
+        else:
+            cuts = np.array([], dtype=np.int64)
+        bounds = np.concatenate(([0], np.asarray(cuts, dtype=np.int64), [rows]))
+        if np.any(np.diff(bounds) < 1):
+            # Degenerate profiles (one row dominating, all-zero weights)
+            # can empty a range; fall back to equal-count ranges.
+            bounds = np.linspace(0, rows, num_shards + 1).astype(np.int64)
+        for s in range(num_shards):
+            shard_of_rank[bounds[s] : bounds[s + 1]] = s
+        shard_of = np.empty(rows, dtype=np.int64)
+        shard_of[order] = shard_of_rank
+        return cls(shard_of)
+
+    def shard_of(self, ids: np.ndarray) -> np.ndarray:
+        return self._shard_of[np.asarray(ids, dtype=np.int64)]
+
+    def local_ids(self, ids: np.ndarray) -> np.ndarray:
+        return self._local_of[np.asarray(ids, dtype=np.int64)]
+
+    def global_ids(self, shard: int) -> np.ndarray:
+        return np.flatnonzero(self._shard_of == shard).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Shard plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TablePlacement:
+    """Where one table's rows live.
+
+    ``mapping is None`` means the whole table lives on ``shards[0]``;
+    otherwise the table is row-partitioned across ``shards`` by
+    ``mapping``.
+    """
+
+    table: str
+    shards: Tuple[int, ...]
+    mapping: Optional[RowMapping] = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a placement needs at least one shard")
+        if self.mapping is None and len(self.shards) != 1:
+            raise ValueError("whole-table placement must name exactly one shard")
+        if self.mapping is not None and len(self.shards) != self.mapping.num_shards:
+            raise ValueError("mapping shard count must match placement shards")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete model→devices placement produced by a policy."""
+
+    num_shards: int
+    mode: str  # "replicate" | "table" | "row"
+    placements: Dict[str, TablePlacement]
+
+    def tables_on(self, shard: int) -> List[str]:
+        """Table names with a piece (whole or row shard) on ``shard``."""
+        return [
+            name for name, p in self.placements.items() if shard in p.shards
+        ]
+
+    def validate(self, feature_names: Sequence[str]) -> None:
+        if set(self.placements) != set(feature_names):
+            raise ValueError(
+                f"plan covers {sorted(self.placements)} but model has "
+                f"{sorted(feature_names)}"
+            )
+        for placement in self.placements.values():
+            if max(placement.shards) >= self.num_shards:
+                raise ValueError(
+                    f"placement for {placement.table!r} names shard "
+                    f"{max(placement.shards)} >= num_shards {self.num_shards}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+class ShardingPolicy(ABC):
+    """Strategy deciding how a model's tables spread across N devices."""
+
+    name = "base"
+
+    @abstractmethod
+    def plan(self, model, num_shards: int) -> ShardPlan:
+        """Place ``model``'s tables on ``num_shards`` devices."""
+
+
+class ReplicatePolicy(ShardingPolicy):
+    """Whole-model replication per device — the pre-sharding behaviour.
+
+    The serving layer special-cases this policy onto the original
+    replicate path (one :class:`~repro.serving.scheduler.ModelWorker`
+    per device, full tables each, batches round-robin), so results are
+    bit-identical to ``register_model`` without a policy.
+    """
+
+    name = "replicate"
+
+    def plan(self, model, num_shards: int) -> ShardPlan:
+        # Descriptive only (every device holds a full copy); the server
+        # never routes replicate-mode dispatch through a plan.
+        placements = {
+            f.name: TablePlacement(f.name, (0,), None) for f in model.features
+        }
+        return ShardPlan(num_shards, "replicate", placements)
+
+
+def _table_weight(feature, balance_by: str) -> float:
+    if balance_by == "bytes":
+        return float(feature.spec.logical_bytes)
+    if balance_by == "traffic":
+        # Expected lookups per sample times row bytes: bandwidth demand.
+        return float(feature.lookups * feature.spec.row_bytes)
+    raise ValueError(f"unknown balance_by {balance_by!r} (bytes|traffic)")
+
+
+def _assign_whole(features, num_shards: int, balance_by: str) -> Dict[str, int]:
+    """Greedy LPT bin packing: heaviest table to the least-loaded shard."""
+    loads = [0.0] * num_shards
+    home: Dict[str, int] = {}
+    weighted = sorted(
+        features, key=lambda f: (-_table_weight(f, balance_by), f.name)
+    )
+    for feature in weighted:
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        loads[shard] += _table_weight(feature, balance_by)
+        home[feature.name] = shard
+    return home
+
+
+class TableShardPolicy(ShardingPolicy):
+    """Whole tables assigned to devices, balancing size or traffic.
+
+    ``balance_by='bytes'`` balances stored bytes (capacity scaling);
+    ``'traffic'`` balances expected lookup bandwidth (throughput
+    scaling).  Per-table SLS ops are unchanged, so pooled outputs equal
+    replicate mode (exactly on DRAM; up to device-side accumulation
+    order on ssd/ndp).
+    """
+
+    name = "table"
+
+    def __init__(self, balance_by: str = "traffic"):
+        self.balance_by = balance_by
+        if balance_by not in ("bytes", "traffic"):
+            raise ValueError(f"unknown balance_by {balance_by!r} (bytes|traffic)")
+
+    def plan(self, model, num_shards: int) -> ShardPlan:
+        home = _assign_whole(model.features, num_shards, self.balance_by)
+        placements = {
+            name: TablePlacement(name, (shard,), None)
+            for name, shard in home.items()
+        }
+        return ShardPlan(num_shards, "table", placements)
+
+
+class RowShardPolicy(ShardingPolicy):
+    """Row-partition large tables across all devices; whole-assign the rest.
+
+    Tables with ``rows >= threshold_rows`` are split by
+    :class:`ModuloRowMapping` (hash) or, when ``profiles`` supplies a
+    per-row traffic weight array for the table, by
+    :meth:`LookupRowMapping.from_weights` (frequency ranges — hot rows
+    spread deliberately across devices).  Pooled outputs equal replicate
+    mode up to float32 partial-sum order.
+    """
+
+    name = "row"
+
+    def __init__(
+        self,
+        threshold_rows: int = 1 << 15,
+        profiles: Optional[Dict[str, np.ndarray]] = None,
+        balance_by: str = "traffic",
+    ):
+        if threshold_rows < 1:
+            raise ValueError("threshold_rows must be >= 1")
+        self.threshold_rows = threshold_rows
+        self.profiles = dict(profiles or {})
+        self.balance_by = balance_by
+        if balance_by not in ("bytes", "traffic"):
+            raise ValueError(f"unknown balance_by {balance_by!r} (bytes|traffic)")
+
+    def plan(self, model, num_shards: int) -> ShardPlan:
+        split = [
+            f
+            for f in model.features
+            if f.spec.rows >= max(self.threshold_rows, num_shards)
+        ]
+        whole = [f for f in model.features if f not in split]
+        placements: Dict[str, TablePlacement] = {}
+        for feature in split:
+            profile = self.profiles.get(feature.name)
+            if profile is not None:
+                profile = np.asarray(profile, dtype=np.float64)
+                if profile.size != feature.spec.rows:
+                    raise ValueError(
+                        f"profile for {feature.name!r} has {profile.size} "
+                        f"weights but the table has {feature.spec.rows} rows"
+                    )
+                mapping: RowMapping = LookupRowMapping.from_weights(
+                    profile, num_shards
+                )
+            else:
+                mapping = ModuloRowMapping(feature.spec.rows, num_shards)
+            placements[feature.name] = TablePlacement(
+                feature.name, tuple(range(num_shards)), mapping
+            )
+        for name, shard in _assign_whole(whole, num_shards, self.balance_by).items():
+            placements[name] = TablePlacement(name, (shard,), None)
+        return ShardPlan(num_shards, "row", placements)
+
+
+# ----------------------------------------------------------------------
+# Scatter: split one batch's bags into per-shard sub-bags
+# ----------------------------------------------------------------------
+def scatter_bags(
+    bags: Sequence[np.ndarray], mapping: RowMapping
+) -> Dict[int, List[np.ndarray]]:
+    """Split per-result bags into shard-local per-result bags.
+
+    Returns only the shards that received at least one lookup; each
+    shard's value is ``len(bags)`` bags of *shard-local* ids (possibly
+    empty bags), in the same order, so a shard's partial SLS lines up
+    row-for-row with the merged result.  One vectorized pass: flatten,
+    group by owning shard (:func:`~repro.core.vecops.group_slices` —
+    stable, so within a shard the bag order and intra-bag id order are
+    preserved), remap to local ids, split back into bags.
+    """
+    rows, rids = flatten_bags(bags)
+    if rows.size == 0:
+        return {}
+    shard_keys = mapping.shard_of(rows)
+    local = mapping.local_ids(rows)
+    uniq, order, bounds = group_slices(shard_keys)
+    out: Dict[int, List[np.ndarray]] = {}
+    for i, shard in enumerate(uniq):
+        members = order[bounds[i] : bounds[i + 1]]  # ascending positions
+        counts = np.bincount(rids[members], minlength=len(bags))
+        out[int(shard)] = np.split(local[members], np.cumsum(counts)[:-1])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Gather: the scatter-gather embedding stage
+# ----------------------------------------------------------------------
+class ShardedEmbeddingStage:
+    """Scatter-gather executor over per-shard SLS backends.
+
+    Drop-in for :class:`~repro.embedding.stage.EmbeddingStage` from the
+    scheduler's point of view (same ``start(bags_by_table, on_done)``
+    contract, same :class:`EmbStageResult`), but one batch fans out to
+    every device owning a piece of any requested table and the partial
+    sums merge host-side.  ``per_shard`` on the result carries the
+    per-device partial results for stats.
+
+    ``backends_by_shard[s][table_name]`` is the backend serving table
+    piece ``table_name`` on device ``s`` (shard tables for row-split
+    placements, full tables for whole placements).
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        backends_by_shard: Dict[int, Dict[str, SlsBackend]],
+    ):
+        if not backends_by_shard or not any(backends_by_shard.values()):
+            raise ValueError("need at least one shard backend")
+        self.plan = plan
+        self.backends_by_shard = backends_by_shard
+        sims = {
+            id(b.system.sim)
+            for shard in backends_by_shard.values()
+            for b in shard.values()
+        }
+        if len(sims) != 1:
+            raise ValueError("all shard backends must share one simulator")
+        self.sim = next(
+            b.system.sim
+            for shard in backends_by_shard.values()
+            for b in shard.values()
+        )
+        self.dims = {
+            name: b.table.spec.dim
+            for shard in backends_by_shard.values()
+            for name, b in shard.items()
+        }
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        bags_by_table: Dict[str, Sequence[np.ndarray]],
+        on_done: Callable[[EmbStageResult], None],
+    ) -> None:
+        unknown = set(bags_by_table) - set(self.plan.placements)
+        if unknown:
+            raise KeyError(f"no placement for tables {sorted(unknown)}")
+        start = self.sim.now
+        n_bags = {name: len(bags) for name, bags in bags_by_table.items()}
+
+        # ---- scatter: (shard, table) -> shard-local bags -------------
+        jobs: List[Tuple[int, str, List[np.ndarray]]] = []
+        for name, bags in bags_by_table.items():
+            placement = self.plan.placements[name]
+            if placement.mapping is None:
+                jobs.append((placement.shards[0], name, list(bags)))
+            else:
+                for shard, sub in scatter_bags(bags, placement.mapping).items():
+                    jobs.append((shard, name, sub))
+
+        per_shard: Dict[int, Dict[str, SlsOpResult]] = {}
+        pending = {"n": len(jobs)}
+
+        def finish() -> None:
+            values: Dict[str, np.ndarray] = {}
+            per_table: Dict[str, SlsOpResult] = {}
+            breakdown = Breakdown()
+            for name in bags_by_table:
+                pieces = [
+                    (shard, results[name])
+                    for shard, results in sorted(per_shard.items())
+                    if name in results
+                ]
+                per_table[name] = self._merge_table(name, n_bags[name], pieces)
+                values[name] = per_table[name].values
+                breakdown.merge(per_table[name].breakdown)
+            on_done(
+                EmbStageResult(
+                    values=values,
+                    per_table=per_table,
+                    start_time=start,
+                    end_time=self.sim.now,
+                    breakdown=breakdown,
+                    per_shard=per_shard,
+                )
+            )
+
+        if not jobs:
+            self.sim.call_soon(finish)
+            return
+
+        def job_done(shard: int, name: str, result: SlsOpResult) -> None:
+            per_shard.setdefault(shard, {})[name] = result
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                finish()
+
+        for shard, name, sub_bags in jobs:
+            backend = self.backends_by_shard[shard][name]
+            backend.start(
+                sub_bags,
+                lambda result, _s=shard, _n=name: job_done(_s, _n, result),
+            )
+
+    def _merge_table(
+        self, name: str, n_bags: int, pieces: List[Tuple[int, SlsOpResult]]
+    ) -> SlsOpResult:
+        """Gather: one table's partial sums from its shards, merged.
+
+        Whole-table pieces pass through untouched (bit-identical to the
+        unsharded op).  Row-shard partials add in ascending shard order —
+        deterministic, but a different float32 accumulation order than
+        the unsharded sum, hence the documented "equal up to summation
+        order" contract.
+        """
+        if len(pieces) == 1 and self.plan.placements[name].mapping is None:
+            return pieces[0][1]
+        values = np.zeros((n_bags, self.dims[name]), dtype=np.float32)
+        breakdown = Breakdown()
+        stats: Dict[str, float] = {}
+        start = min((r.start_time for _, r in pieces), default=self.sim.now)
+        end = max((r.end_time for _, r in pieces), default=self.sim.now)
+        for _, result in pieces:
+            values += result.values
+            breakdown.merge(result.breakdown)
+            for key, value in result.stats.items():
+                stats[key] = stats.get(key, 0.0) + value
+        stats["shards"] = float(len(pieces))
+        return SlsOpResult(
+            values=values,
+            start_time=start,
+            end_time=end,
+            breakdown=breakdown,
+            stats=stats,
+        )
+
+    def run_sync(
+        self, bags_by_table: Dict[str, Sequence[np.ndarray]]
+    ) -> EmbStageResult:
+        box: List[EmbStageResult] = []
+        self.start(bags_by_table, box.append)
+        self.sim.run_until(lambda: bool(box))
+        return box[0]

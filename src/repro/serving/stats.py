@@ -32,6 +32,11 @@ class ServingStats:
         reset decrement ``inflight`` but are counted (and their latencies
         recorded) in the fresh window, so back-to-back benchmark
         iterations don't inherit warm-up counts.
+
+        Every recorded counter — including the per-model and per-shard
+        maps — is (re)initialized here and only here, so a reset object
+        is indistinguishable from a fresh one modulo the live ``inflight``
+        gauge (``tests/serving/test_sharding.py`` audits exactly that).
         """
         self.submitted = 0
         self.completed = 0
@@ -45,6 +50,20 @@ class ServingStats:
         self.completed_by_model: Dict[str, int] = {}
         self.first_arrival: Optional[float] = None
         self.last_completion: Optional[float] = None
+        # Per-shard (per-device) embedding-work breakdowns, keyed
+        # model -> shard index.  Populated for every dispatch mode: a
+        # replicate worker's whole batch lands on its device's shard
+        # entry; a scatter-gather batch credits every shard it touched.
+        self.shard_batches: Dict[str, Dict[int, int]] = {}
+        self.shard_sub_ops: Dict[str, Dict[int, int]] = {}
+        self.shard_lookups: Dict[str, Dict[int, float]] = {}
+        self.shard_busy_s: Dict[str, Dict[int, float]] = {}
+
+    # PR 2's unified stats contract: every component with counters
+    # exposes ``reset_stats()``; for ServingStats it is the same window
+    # reset (the in-flight gauge keeps tracking live requests).
+    def reset_stats(self) -> None:
+        self.reset()
 
     # ------------------------------------------------------------------
     # Recording (called by the server/scheduler)
@@ -66,6 +85,24 @@ class ServingStats:
     def record_dispatch(self, requests: List[InferenceRequest]) -> None:
         self.batches_dispatched += 1
         self.requests_per_batch.add(float(len(requests)))
+
+    def record_shard_work(
+        self, model: str, shard: int, lookups: float, sub_ops: int, busy_s: float
+    ) -> None:
+        """Credit one coalesced batch's embedding work to one shard.
+
+        ``sub_ops`` is the number of per-table SLS operations the shard
+        ran for the batch; ``busy_s`` the simulated span from the
+        shard's first op start to its last op end.
+        """
+        for store, value in (
+            (self.shard_batches, 1),
+            (self.shard_sub_ops, sub_ops),
+            (self.shard_lookups, lookups),
+            (self.shard_busy_s, busy_s),
+        ):
+            per_model = store.setdefault(model, {})
+            per_model[shard] = per_model.get(shard, 0) + value
 
     def record_completion(self, request: InferenceRequest) -> None:
         self.completed += 1
@@ -126,6 +163,21 @@ class ServingStats:
             "max_inflight": float(self.max_inflight),
             "mean_batch_requests": self.requests_per_batch.mean,
         }
+
+    def shard_summary(self) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Per-model, per-shard work breakdown: batches, SLS ops, lookups,
+        busy seconds.  Empty until the scheduler has dispatched work."""
+        out: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for model, per_shard in self.shard_batches.items():
+            out[model] = {}
+            for shard in sorted(per_shard):
+                out[model][shard] = {
+                    "batches": float(self.shard_batches[model][shard]),
+                    "sub_ops": float(self.shard_sub_ops[model][shard]),
+                    "lookups": float(self.shard_lookups[model][shard]),
+                    "busy_s": float(self.shard_busy_s[model][shard]),
+                }
+        return out
 
     def __repr__(self) -> str:
         s = self.summary()

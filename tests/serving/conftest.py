@@ -34,6 +34,7 @@ def build_server(
     system_config: Optional[SystemConfig] = None,
     num_workers: int = 1,
     queue_when_full: bool = True,
+    sharding=None,
 ) -> InferenceServer:
     models = models if isinstance(models, (list, tuple)) else [models]
     capacity = max(required_capacity_pages(m) for m in models)
@@ -44,5 +45,5 @@ def build_server(
     )
     server = InferenceServer(system, serving_config)
     for model in models:
-        server.register_model(model, kind, num_workers=num_workers)
+        server.register_model(model, kind, num_workers=num_workers, sharding=sharding)
     return server

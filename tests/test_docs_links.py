@@ -1,0 +1,21 @@
+"""Docs hygiene: every intra-repo markdown link must resolve.
+
+Runs the same scan as ``tools/check_links.py`` (the CI docs step) so a
+broken link fails the tier-1 suite locally, not just in CI.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_links import broken_links  # noqa: E402
+
+
+def test_intra_repo_markdown_links_resolve():
+    broken = broken_links(REPO_ROOT)
+    assert not broken, "broken markdown links: " + ", ".join(
+        f"{md}:({target})" for md, target in broken
+    )

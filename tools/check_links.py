@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Verify that intra-repo markdown links resolve.
+
+Scans every tracked ``*.md`` file for ``[text](target)`` links, ignores
+external targets (``http(s)://``, ``mailto:``) and pure anchors
+(``#section``), and checks that each remaining path exists relative to
+the file containing the link (an ``#anchor`` suffix is stripped first).
+
+Run from anywhere inside the repo::
+
+    python tools/check_links.py
+
+Exit status is non-zero (with one line per broken link) on failure, so
+it doubles as the CI docs step; ``tests/test_docs_links.py`` runs the
+same check under pytest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# [text](target) — target captured up to the closing paren; nested
+# parens don't occur in this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".hypothesis"}
+# Verbatim excerpts from external repos/papers; their links point at
+# files that only exist upstream.
+_SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in _SKIP_FILES:
+            continue
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    broken: List[Tuple[Path, str]] = []
+    for md_file in iter_markdown(root):
+        for target in _LINK.findall(md_file.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (md_file.parent / relative).exists():
+                broken.append((md_file.relative_to(root), target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = list(broken_links(root))
+    for md_file, target in broken:
+        print(f"BROKEN {md_file}: ({target})")
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
