@@ -1,0 +1,144 @@
+"""QoS admission benchmark: goodput under overload, per policy.
+
+Runs the ``ext_qos`` admission comparison — the same 2x-overload
+open-loop Poisson traffic shed three ways (reject-at-limit, deadline-
+aware early drop, priority lanes + deadline drop) — and records goodput
+(completions within the SLO deadline), tail latency and shed counts per
+policy to ``BENCH_qos.json``.
+
+Contract (asserted in both modes — this is the acceptance bar the
+workload/QoS subsystem exists for):
+
+* deadline-aware admission achieves **strictly higher goodput** than
+  reject-at-limit at equal overload;
+* the priority lane protects its tenant: the hi-priority lane's goodput
+  fraction strictly exceeds the lo lane's;
+* every policy conserves requests (terminal counts sum to submissions).
+
+Run standalone (writes ``BENCH_qos.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_qos.py           # full
+    PYTHONPATH=src python benchmarks/bench_qos.py --smoke   # CI
+
+or through pytest-benchmark with the rest of the bench suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_qos.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.ext_qos import (
+    ADMISSION_POLICIES,
+    OVERLOAD_X,
+    calibrate,
+    run_admission_policy,
+)
+
+try:
+    from conftest import run_once  # pytest-benchmark path (rootdir import)
+except ImportError:  # standalone `python benchmarks/...` run
+    run_once = None
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_qos.json"
+
+SEED = 7
+
+
+def run_all(smoke: bool) -> Dict[str, object]:
+    n_requests = 48 if smoke else 144
+    calibration = calibrate(seed=SEED)
+    report: Dict[str, object] = {
+        "mode": "smoke" if smoke else "full",
+        "overload_x": OVERLOAD_X,
+        "calibration": calibration,
+        "n_requests": n_requests,
+    }
+    policies: Dict[str, Dict[str, object]] = {}
+    for policy in ADMISSION_POLICIES:
+        row, result = run_admission_policy(
+            policy, calibration, n_requests=n_requests, seed=SEED
+        )
+        stats = result.stats
+        # Conservation through every admission path (the ServingStats
+        # invariant the QoS drop paths must preserve).
+        assert stats.submitted == (
+            stats.completed + stats.rejected + stats.dropped + stats.inflight
+        ), row
+        row["drops_by_reason"] = dict(stats.drops_by_reason)
+        row["rejects_by_reason"] = dict(stats.rejects_by_reason)
+        policies[policy] = row
+    report["policies"] = policies
+    report["goodput_gain"] = {
+        "deadline_over_reject": (
+            policies["deadline"]["goodput_frac"]
+            / max(policies["reject"]["goodput_frac"], 1e-9)
+        ),
+    }
+    return report
+
+
+def check_contract(report: Dict[str, object]) -> None:
+    policies = report["policies"]
+    reject, deadline = policies["reject"], policies["deadline"]
+    priority = policies["priority"]
+    assert deadline["goodput_frac"] > reject["goodput_frac"], (
+        f"deadline-aware admission must beat reject-at-limit goodput "
+        f"({deadline['goodput_frac']:.3f} <= {reject['goodput_frac']:.3f})"
+    )
+    assert deadline["p95_ms"] < reject["p95_ms"], (
+        "early drop should also shorten the served tail (it sheds the "
+        "stale queue head)"
+    )
+    hi, lo = priority["hi_goodput_frac"], priority["lo_goodput_frac"]
+    assert hi > lo, (
+        f"priority lane failed to protect its tenant ({hi:.3f} <= {lo:.3f})"
+    )
+
+
+def test_qos_goodput(benchmark):
+    report = run_once(benchmark, run_all, True)
+    benchmark.extra_info["experiment"] = "qos_admission"
+    benchmark.extra_info["policies"] = {
+        name: {
+            k: row[k]
+            for k in ("goodput_frac", "goodput_rps", "p95_ms", "dropped", "rejected")
+        }
+        for name, row in report["policies"].items()
+    }
+    check_contract(report)
+
+
+def main(argv: List[str]) -> None:
+    smoke = "--smoke" in argv
+    report = run_all(smoke)
+    OUTPUT.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    for name, row in report["policies"].items():
+        extra = (
+            f"  hi/lo lanes {row['hi_goodput_frac']:.3f}/"
+            f"{row['lo_goodput_frac']:.3f}"
+            if name == "priority"
+            else ""
+        )
+        print(
+            f"{name:>9}: goodput {row['goodput_frac']:6.3f} "
+            f"({row['goodput_rps']:7.1f} rps)  p95 {row['p95_ms']:7.2f}ms  "
+            f"dropped {row['dropped']:3.0f}  rejected {row['rejected']:3.0f}"
+            f"{extra}"
+        )
+    check_contract(report)
+    gain = report["goodput_gain"]["deadline_over_reject"]
+    print(
+        f"qos contract holds: deadline-aware goodput {gain:.2f}x "
+        f"reject-at-limit at {report['overload_x']}x overload; "
+        f"priority lane protected"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -7,9 +7,14 @@ the latency-bounded-throughput framing of the serving problem.  Also
 checks the structural claim this layer exists for: under concurrent
 load, the NDP engine holds >=2 SLS requests in flight at once.
 
-Run standalone::
+Results (all rows + the checked claims) are recorded to
+``BENCH_serving.json`` with the same asserted-contract shape as the
+hotpath/sharding/qos benches.
 
-    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+Run standalone (writes ``BENCH_serving.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke   # CI
 
 or through pytest-benchmark with the rest of the bench suite::
 
@@ -18,6 +23,9 @@ or through pytest-benchmark with the rest of the bench suite::
 
 from __future__ import annotations
 
+import json
+import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.engine import NdpEngineConfig
@@ -30,6 +38,8 @@ try:
     from conftest import run_once  # pytest-benchmark path (rootdir import)
 except ImportError:  # standalone `python benchmarks/...` run
     run_once = None
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 BACKENDS = (BackendKind.DRAM, BackendKind.SSD, BackendKind.NDP)
 OFFERED_RPS = (400.0, 1600.0, 6400.0)   # light, near-saturation, overload
@@ -108,7 +118,7 @@ def run_sweep(
     return rows
 
 
-def check_claims(rows: List[Dict[str, float]]) -> None:
+def check_claims(rows: List[Dict[str, float]], n_requests: int = N_REQUESTS) -> None:
     """The qualitative shape the serving story rests on."""
     by_backend: Dict[str, List[Dict[str, float]]] = {}
     for row in rows:
@@ -116,7 +126,7 @@ def check_claims(rows: List[Dict[str, float]]) -> None:
     for kind, group in by_backend.items():
         group.sort(key=lambda r: r["offered_rps"])
         for row in group:
-            assert row["completed"] + row["rejected"] == N_REQUESTS, row
+            assert row["completed"] + row["rejected"] == n_requests, row
             assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
         # Tail latency does not improve as offered load grows.
         assert group[-1]["p99_ms"] >= group[0]["p99_ms"] * 0.9, group
@@ -150,8 +160,10 @@ def test_serving_throughput_tail_latency(benchmark):
     check_claims(rows)
 
 
-def main() -> None:
-    rows = run_sweep()
+def main(argv: List[str]) -> None:
+    smoke = "--smoke" in argv
+    n_requests = 24 if smoke else N_REQUESTS
+    rows = run_sweep(n_requests=n_requests)
     header = (
         f"{'backend':8} {'offered':>9} {'tput':>9} {'p50':>8} {'p95':>8} "
         f"{'p99':>8} {'rej':>4} {'ndp_conc':>8}"
@@ -165,10 +177,27 @@ def main() -> None:
             f"{row['p95_ms']:>6.2f}ms {row['p99_ms']:>6.2f}ms "
             f"{row['rejected']:>4.0f} {row['ndp_max_concurrent']:>8.0f}"
         )
-    check_claims(rows)
-    print("\nall serving-shape claims hold "
+    check_claims(rows, n_requests=n_requests)
+    report = {
+        "mode": "smoke" if smoke else "full",
+        "n_requests": n_requests,
+        "batch_size": BATCH_SIZE,
+        "seed": SEED,
+        "rows": rows,
+        "claims": {
+            "ndp_max_concurrent": max(
+                r["ndp_max_concurrent"] for r in rows if r["backend"] == "ndp"
+            ),
+            "ndp_overlap_ms": max(
+                r["ndp_overlap_ms"] for r in rows if r["backend"] == "ndp"
+            ),
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print("all serving-shape claims hold "
           "(NDP overlapped >=2 SLS requests in flight)")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

@@ -15,6 +15,7 @@ from . import (
     ablations,
     calibration,
     ext_multi_ssd,
+    ext_qos,
     fig3_reuse,
     fig4_locality,
     fig5_sls,
@@ -42,6 +43,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "calibration": calibration.run,
     "multi_ssd": ext_multi_ssd.run,
+    "qos": ext_qos.run,
 }
 
 

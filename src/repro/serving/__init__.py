@@ -5,9 +5,12 @@ load; this package provides the serving front-end that creates that
 load shape against the simulated stack:
 
 * :class:`~repro.serving.request.InferenceRequest` — one user request
-  (model name + batch) with lifecycle timestamps.
+  (model name + batch) with lifecycle timestamps and an optional SLO
+  deadline.
 * :class:`~repro.serving.queue.RequestQueue` — admission-bounded
-  per-model FIFO lanes with round-robin fairness.
+  per-model FIFO lanes with round-robin fairness; an
+  :class:`~repro.serving.admission.AdmissionConfig` adds QoS policies
+  (deadline-aware early drop, per-model quotas, priority lanes).
 * :class:`~repro.serving.scheduler.BatchScheduler` — coalesces queued
   requests into batched SLS operations and keeps several outstanding per
   worker, across one or many attached SSDs.
@@ -18,17 +21,28 @@ load shape against the simulated stack:
   scatter-gather stage that splits one coalesced batch across the
   devices owning its table pieces and merges partial sums host-side.
 * :class:`~repro.serving.stats.ServingStats` — per-request latency
-  percentiles (p50/p95/p99), throughput and per-shard work breakdowns.
+  percentiles (p50/p95/p99), throughput, goodput (completions within
+  deadline), per-lane and per-shard work breakdowns.
 * :class:`~repro.serving.server.InferenceServer` — ties it together;
   :func:`~repro.serving.server.run_offered_load` drives open-loop
-  Poisson experiments.
+  Poisson experiments (a thin front-end over :mod:`repro.workload`,
+  which adds closed-loop clients, trace replay and declarative
+  multi-tenant scenarios).
 
-See ``docs/SERVING.md`` for the request lifecycle walkthrough,
-``examples/serving_demo.py`` for a runnable tour, and
+See ``docs/SERVING.md`` for the request lifecycle walkthrough and the
+"Workloads & QoS" guide, ``examples/serving_demo.py`` /
+``examples/workload_qos_demo.py`` for runnable tours, and
 ``benchmarks/bench_serving_throughput.py`` /
-``benchmarks/bench_sharding.py`` for the load benchmarks.
+``benchmarks/bench_sharding.py`` / ``benchmarks/bench_qos.py`` for the
+load benchmarks.
 """
 
+from .admission import (
+    REASON_CAPACITY,
+    REASON_DEADLINE,
+    REASON_QUOTA,
+    AdmissionConfig,
+)
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
 from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
@@ -47,6 +61,10 @@ from .sharding import (
 from .stats import ServingStats
 
 __all__ = [
+    "AdmissionConfig",
+    "REASON_CAPACITY",
+    "REASON_DEADLINE",
+    "REASON_QUOTA",
     "InferenceRequest",
     "RequestState",
     "RequestQueue",

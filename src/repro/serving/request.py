@@ -24,7 +24,8 @@ class RequestState(Enum):
     QUEUED = "queued"
     DISPATCHED = "dispatched"
     COMPLETE = "complete"
-    REJECTED = "rejected"
+    REJECTED = "rejected"   # refused at submit (capacity/quota/deadline)
+    DROPPED = "dropped"     # admitted, then shed before dispatch (QoS)
 
 
 @dataclass
@@ -34,6 +35,12 @@ class InferenceRequest:
     ``values`` holds the per-table SLS result rows belonging to this
     request (scattered back out of the coalesced batch); ``output`` holds
     the model's scores when the server computes outputs.
+
+    QoS fields: ``deadline`` is an *absolute* simulated time by which the
+    request must complete to count toward goodput (``inf`` means no SLO);
+    ``priority`` mirrors the lane priority the admission config assigned
+    at submit; ``drop_reason`` names why a REJECTED/DROPPED request was
+    shed (see :mod:`repro.serving.admission`).
     """
 
     model: str
@@ -44,6 +51,9 @@ class InferenceRequest:
     t_dispatch: float = -1.0
     t_emb_done: float = -1.0
     t_done: float = -1.0
+    deadline: float = float("inf")
+    priority: int = 0
+    drop_reason: Optional[str] = None
     values: Dict[str, np.ndarray] = field(default_factory=dict)
     output: Optional[np.ndarray] = None
     on_done: Optional[Callable[["InferenceRequest"], None]] = None
@@ -60,7 +70,16 @@ class InferenceRequest:
 
     @property
     def done(self) -> bool:
-        return self.state in (RequestState.COMPLETE, RequestState.REJECTED)
+        return self.state in (
+            RequestState.COMPLETE,
+            RequestState.REJECTED,
+            RequestState.DROPPED,
+        )
+
+    @property
+    def within_deadline(self) -> bool:
+        """Completed in time (vacuously true without an SLO deadline)."""
+        return self.state is RequestState.COMPLETE and self.t_done <= self.deadline
 
     def __repr__(self) -> str:
         return (

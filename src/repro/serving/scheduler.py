@@ -24,7 +24,7 @@ credited to :class:`~repro.serving.stats.ServingStats` from the result's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..embedding.stage import EmbeddingStage, EmbStageResult
 from ..models.base import RecModel
@@ -45,12 +45,23 @@ class SchedulerConfig:
     # Coalesced batches a single worker keeps outstanding.  >=2 keeps the
     # device busy while a finished batch's results post-process.
     max_inflight_batches_per_worker: int = 2
+    # Optional *global* cap on concurrently dispatched batches across all
+    # models/workers — a bounded host dispatch pool.  None (default) is
+    # the seed behaviour (per-worker limits only).  With a cap, freed
+    # slots are re-awarded through the queue's priority-class scan, which
+    # is what makes priority lanes arbitrate a real shared resource.
+    max_inflight_batches_total: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_requests < 1:
             raise ValueError("max_batch_requests must be >= 1")
         if self.max_inflight_batches_per_worker < 1:
             raise ValueError("max_inflight_batches_per_worker must be >= 1")
+        if (
+            self.max_inflight_batches_total is not None
+            and self.max_inflight_batches_total < 1
+        ):
+            raise ValueError("max_inflight_batches_total must be >= 1")
 
 
 class ModelWorker:
@@ -95,6 +106,7 @@ class BatchScheduler:
         stats: ServingStats,
         config: SchedulerConfig,
         on_batch_done: Callable[[List[InferenceRequest]], None],
+        on_expired: Callable[[InferenceRequest], bool] | None = None,
     ):
         self.sim = sim
         self.queue = queue
@@ -102,6 +114,11 @@ class BatchScheduler:
         self.stats = stats
         self.config = config
         self.on_batch_done = on_batch_done
+        # QoS hook (deadline-aware early drop): inspects each request as
+        # it is popped for dispatch; returning True means the callback
+        # consumed it (dropped + slot released) — see RequestQueue.pop_batch.
+        self.on_expired = on_expired
+        self.inflight_batches_total = 0
         self._rr_worker: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -122,6 +139,9 @@ class BatchScheduler:
     def pump(self) -> None:
         """Dispatch queued work while some ready lane has a free worker."""
         while True:
+            total_cap = self.config.max_inflight_batches_total
+            if total_cap is not None and self.inflight_batches_total >= total_cap:
+                return
             # One scan doubles as readiness check and worker selection;
             # next_model stops at the first lane whose pool has capacity.
             found: Dict[str, ModelWorker] = {}
@@ -136,9 +156,13 @@ class BatchScheduler:
             model = self.queue.next_model(ready)
             if model is None:
                 return
-            requests = self.queue.pop_batch(model, self.config.max_batch_requests)
+            requests = self.queue.pop_batch(
+                model, self.config.max_batch_requests, on_expired=self.on_expired
+            )
             if not requests:
-                return
+                # Deadline drops can consume the whole lane; other lanes
+                # may still have dispatchable work this round.
+                continue
             self._dispatch(found[model], requests)
 
     # ------------------------------------------------------------------
@@ -158,6 +182,7 @@ class BatchScheduler:
             spans.append(span)
         self.stats.record_dispatch(requests)
         worker.inflight_batches += 1
+        self.inflight_batches_total += 1
         worker.stage.start(
             merged,
             lambda result: self._batch_done(worker, requests, spans, result),
@@ -171,6 +196,7 @@ class BatchScheduler:
         result: EmbStageResult,
     ) -> None:
         worker.inflight_batches -= 1
+        self.inflight_batches_total -= 1
         worker.batches_done += 1
         now = self.sim.now
         self._record_shard_work(worker, result)

@@ -37,6 +37,7 @@ from ..embedding.table import EmbeddingTable
 from ..host.system import System
 from ..models.base import Batch, RecModel
 from ..models.runner import BackendKind, RunnerConfig, build_backends
+from .admission import REASON_DEADLINE, AdmissionConfig
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
 from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
@@ -52,12 +53,20 @@ class ServingConfig:
     max_inflight_requests: Optional[int] = None
     max_batch_requests: int = 8
     max_inflight_batches_per_worker: int = 2
+    # Global cap on concurrently dispatched batches across all models (a
+    # bounded host dispatch pool); None = per-worker limits only.  Freed
+    # slots are re-awarded priority-class-first, so QoS priority lanes
+    # need a cap (or another shared constraint) to arbitrate.
+    max_inflight_batches_total: Optional[int] = None
     # Run the model's dense tower after the embedding stage (serialized on
     # the host NN workers, as in the inference pipeline).
     dense_stage: bool = True
     # Numerically compute model outputs (costs host wall-clock, not
     # simulated time; enable for correctness checks).
     compute_outputs: bool = False
+    # QoS admission policy (deadline-aware early drop, per-model quotas,
+    # priority lanes).  None keeps the seed's reject-at-limit behaviour.
+    admission: Optional[AdmissionConfig] = None
 
 
 class InferenceServer:
@@ -73,7 +82,8 @@ class InferenceServer:
             else system.config.max_inflight_requests
         )
         self.stats = ServingStats(self.sim)
-        self.queue = RequestQueue(max_inflight)
+        self.admission = self.config.admission or AdmissionConfig()
+        self.queue = RequestQueue(max_inflight, admission=self.admission)
         self.models: Dict[str, RecModel] = {}
         self.workers: Dict[str, List[ModelWorker]] = {}
         self.scheduler = BatchScheduler(
@@ -86,8 +96,14 @@ class InferenceServer:
                 max_inflight_batches_per_worker=(
                     self.config.max_inflight_batches_per_worker
                 ),
+                max_inflight_batches_total=(
+                    self.config.max_inflight_batches_total
+                ),
             ),
             on_batch_done=self._batch_done,
+            on_expired=(
+                self._drop_if_expired if self.admission.deadline_drop else None
+            ),
         )
         self._next_request_id = 1
         self._dense_busy_until = 0.0
@@ -368,13 +384,19 @@ class InferenceServer:
         model_name: str,
         batch: Batch,
         on_done=None,
+        deadline: Optional[float] = None,
     ) -> InferenceRequest:
         """Enqueue one inference request; returns it immediately.
 
-        The request is REJECTED on the spot when the in-flight limit is
-        reached (admission control); otherwise it completes asynchronously
-        in simulated time (drive the simulator, e.g. via
+        The request is REJECTED on the spot when the in-flight limit (or
+        its model's quota) is reached; otherwise it completes — or, with
+        deadline-aware admission, may be DROPPED before dispatch —
+        asynchronously in simulated time (drive the simulator, e.g. via
         :meth:`run_until_settled`).
+
+        ``deadline`` is an *absolute* simulated time for goodput/QoS
+        accounting; when omitted, the admission config's per-model SLO
+        (``slo_by_model``) stamps ``now + slo``.
         """
         if model_name not in self.models:
             raise KeyError(f"model {model_name!r} not registered")
@@ -386,14 +408,28 @@ class InferenceServer:
                 f"batch tables {sorted(batch.bags)} do not match model "
                 f"{model_name!r} features {sorted(expected)}"
             )
+        if deadline is None:
+            slo = self.admission.slo_for(model_name)
+            deadline = self.sim.now + slo if slo is not None else float("inf")
         request = InferenceRequest(
             model=model_name,
             batch=batch,
             request_id=self._next_request_id,
             t_arrival=self.sim.now,
+            deadline=deadline,
+            priority=self.admission.priority_for(model_name),
             on_done=on_done,
         )
         self._next_request_id += 1
+        if self.admission.deadline_drop and self.sim.now > request.deadline:
+            # Arrived already expired: refuse rather than admit-and-drop.
+            request.drop_reason = REASON_DEADLINE
+            request.state = RequestState.REJECTED
+            request.t_done = self.sim.now
+            self.stats.record_reject(request)
+            if request.on_done is not None:
+                request.on_done(request)
+            return request
         if not self.queue.offer(request):
             request.state = RequestState.REJECTED
             request.t_done = self.sim.now
@@ -404,6 +440,25 @@ class InferenceServer:
         self.stats.record_arrival(request)
         self.scheduler.pump()
         return request
+
+    def _drop_if_expired(self, request: InferenceRequest) -> bool:
+        """Deadline-aware early drop (the scheduler's pop filter).
+
+        A queued request whose deadline has passed — or will pass within
+        ``drop_headroom_s``, the configured service-time floor — is shed
+        at dispatch time: device work it can no longer convert into
+        goodput goes to a request that still can.
+        """
+        if self.sim.now + self.admission.drop_headroom_s <= request.deadline:
+            return False
+        request.state = RequestState.DROPPED
+        request.drop_reason = REASON_DEADLINE
+        request.t_done = self.sim.now
+        self.queue.release(request.model)
+        self.stats.record_drop(request)
+        if request.on_done is not None:
+            request.on_done(request)
+        return True
 
     def _batch_done(self, requests: List[InferenceRequest]) -> None:
         """Embedding stage finished for a coalesced batch; run dense + complete."""
@@ -425,7 +480,7 @@ class InferenceServer:
     def _complete(self, request: InferenceRequest) -> None:
         request.state = RequestState.COMPLETE
         request.t_done = self.sim.now
-        self.queue.release()
+        self.queue.release(request.model)
         self.stats.record_completion(request)
         if request.on_done is not None:
             request.on_done(request)
@@ -445,6 +500,8 @@ def run_offered_load(
     batch_size: int = 1,
     seed: int = 0,
     samplers=None,
+    rng: Optional[np.random.Generator] = None,
+    arrivals: Optional[Dict[str, "np.ndarray"]] = None,
 ) -> ServingStats:
     """Open-loop Poisson arrival experiment against ``server``.
 
@@ -453,24 +510,39 @@ def run_offered_load(
     arrivals.  Batches and inter-arrival gaps are drawn from one seeded
     RNG, so the whole experiment is deterministic: same seed, same
     latency distribution.  Returns the server's stats object.
+
+    Reproducibility hooks (used by :mod:`repro.workload`): ``rng``
+    supplies the generator directly (``seed`` is then ignored), and
+    ``arrivals`` maps model names to pre-generated *absolute* arrival
+    times (offsets from the current simulated time) replayed verbatim
+    instead of drawing Poisson gaps — see
+    :meth:`repro.workload.ArrivalTrace.poisson` for recording the trace
+    a seeded run would use.  This function is now a thin front-end over
+    :class:`repro.workload.OpenLoopGenerator` /
+    :func:`repro.workload.run_workload`; the scheduling order (per model:
+    gaps first, then one batch per arrival) is kept bit-identical to the
+    pre-workload implementation for any fixed seed.
     """
+    # Function-level import: repro.workload builds *on* the serving layer,
+    # so the package-level dependency must point that way only.
+    from ..workload.generators import OpenLoopGenerator, run_workload
+
     if not loads:
         raise ValueError("need at least one (model, rate) load")
-    rng = np.random.default_rng(seed)
-    sim = server.sim
+    generators = []
     for model_name, rate in loads.items():
-        if rate <= 0:
-            raise ValueError(f"rate for {model_name!r} must be positive")
-        model = server.models[model_name]  # KeyError for unknown models
-        gaps = rng.exponential(1.0 / rate, size=n_requests)
-        arrival = sim.now
-        for gap in gaps:
-            arrival += float(gap)
-            batch = model.sample_batch(rng, batch_size, samplers=samplers)
-            sim.schedule_at(
-                arrival,
-                lambda m=model_name, b=batch: server.submit(m, b),
+        if model_name not in server.models:
+            raise KeyError(model_name)
+        generators.append(
+            OpenLoopGenerator(
+                model_name,
+                rate=rate,
+                n_requests=n_requests,
+                batch_size=batch_size,
+                samplers=samplers,
+                arrivals=None if arrivals is None else arrivals[model_name],
             )
-    target = server.stats.settled + len(loads) * n_requests
-    sim.run_until(lambda: server.stats.settled >= target)
-    return server.stats
+        )
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return run_workload(server, generators, rng=rng)

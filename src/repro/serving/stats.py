@@ -1,10 +1,18 @@
-"""Serving-layer metrics: tail latency percentiles and throughput.
+"""Serving-layer metrics: tail latency percentiles, throughput, goodput.
 
 Latency-bounded throughput is the paper's serving framing (Section 2;
 RecNMP/MicroRec make the same argument): a deployment provisions to a
 p95/p99 SLA, not to mean latency.  :class:`ServingStats` therefore keeps
 every completed request's latency (exact percentiles, not bucketed
-approximations) alongside throughput and concurrency gauges.
+approximations) alongside throughput and concurrency gauges — and, for
+QoS runs (:mod:`repro.serving.admission`), **goodput**: requests
+completed *within* their deadline, the metric admission policies trade
+raw throughput against.
+
+The core invariant, preserved through every admission path and audited
+by ``tests/serving/test_admission.py``::
+
+    submitted == completed + rejected + dropped + inflight
 """
 
 from __future__ import annotations
@@ -33,23 +41,41 @@ class ServingStats:
         recorded) in the fresh window, so back-to-back benchmark
         iterations don't inherit warm-up counts.
 
-        Every recorded counter — including the per-model and per-shard
-        maps — is (re)initialized here and only here, so a reset object
-        is indistinguishable from a fresh one modulo the live ``inflight``
-        gauge (``tests/serving/test_sharding.py`` audits exactly that).
+        Every recorded counter — including the per-model, per-reason and
+        per-shard maps — is (re)initialized here and only here, so a
+        reset object is indistinguishable from a fresh one modulo the
+        live ``inflight`` gauge (``tests/serving/test_sharding.py`` and
+        ``tests/serving/test_admission.py`` audit exactly that).
         """
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
+        self.dropped = 0
+        self.goodput = 0            # completed within deadline
+        self.deadline_misses = 0    # completed, but late
         self.max_inflight = self.inflight
         self.batches_dispatched = 0
         self.requests_per_batch = Accumulator()
         self.latencies: List[float] = []
         self.queue_delays: List[float] = []
         self.emb_latencies: List[float] = []
-        self.completed_by_model: Dict[str, int] = {}
+        # Admitted-request arrival stamps: the realized arrival process
+        # (repro.traces.analysis.interarrival_stats characterizes it, and
+        # an ArrivalTrace built from it replays the run).
+        self.arrival_times: List[float] = []
         self.first_arrival: Optional[float] = None
         self.last_completion: Optional[float] = None
+        # Per-model (per-lane) breakdowns: every terminal path and the
+        # goodput split, plus raw per-lane latencies for lane_summary().
+        self.submitted_by_model: Dict[str, int] = {}
+        self.completed_by_model: Dict[str, int] = {}
+        self.rejected_by_model: Dict[str, int] = {}
+        self.dropped_by_model: Dict[str, int] = {}
+        self.goodput_by_model: Dict[str, int] = {}
+        self.latencies_by_model: Dict[str, List[float]] = {}
+        # Shed-reason breakdowns (admission.REASON_* keys).
+        self.rejects_by_reason: Dict[str, int] = {}
+        self.drops_by_reason: Dict[str, int] = {}
         # Per-shard (per-device) embedding-work breakdowns, keyed
         # model -> shard index.  Populated for every dispatch mode: a
         # replicate worker's whole batch lands on its device's shard
@@ -68,9 +94,15 @@ class ServingStats:
     # ------------------------------------------------------------------
     # Recording (called by the server/scheduler)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _bump(store: Dict[str, int], key: str, by: int = 1) -> None:
+        store[key] = store.get(key, 0) + by
+
     def record_arrival(self, request: InferenceRequest) -> None:
         self.submitted += 1
         self.inflight += 1
+        self._bump(self.submitted_by_model, request.model)
+        self.arrival_times.append(request.t_arrival)
         if self.inflight > self.max_inflight:
             self.max_inflight = self.inflight
         if self.first_arrival is None:
@@ -78,9 +110,19 @@ class ServingStats:
 
     def record_reject(self, request: InferenceRequest) -> None:
         # Rejected requests count as submitted (but never in flight), so
-        # submitted == completed + rejected + inflight always holds.
+        # submitted == completed + rejected + dropped + inflight holds.
         self.submitted += 1
         self.rejected += 1
+        self._bump(self.submitted_by_model, request.model)
+        self._bump(self.rejected_by_model, request.model)
+        self._bump(self.rejects_by_reason, request.drop_reason or "capacity")
+
+    def record_drop(self, request: InferenceRequest) -> None:
+        """An *admitted* request was shed before dispatch (QoS drop)."""
+        self.dropped += 1
+        self.inflight -= 1
+        self._bump(self.dropped_by_model, request.model)
+        self._bump(self.drops_by_reason, request.drop_reason or "deadline")
 
     def record_dispatch(self, requests: List[InferenceRequest]) -> None:
         self.batches_dispatched += 1
@@ -112,7 +154,13 @@ class ServingStats:
         if request.t_emb_done >= 0:
             self.emb_latencies.append(request.t_emb_done - request.t_dispatch)
         model = request.model
-        self.completed_by_model[model] = self.completed_by_model.get(model, 0) + 1
+        self._bump(self.completed_by_model, model)
+        self.latencies_by_model.setdefault(model, []).append(request.latency)
+        if request.within_deadline:
+            self.goodput += 1
+            self._bump(self.goodput_by_model, model)
+        else:
+            self.deadline_misses += 1
         self.last_completion = request.t_done
 
     # ------------------------------------------------------------------
@@ -120,22 +168,39 @@ class ServingStats:
     # ------------------------------------------------------------------
     @property
     def settled(self) -> int:
-        """Requests that reached a terminal state (complete or rejected)."""
-        return self.completed + self.rejected
+        """Requests that reached a terminal state (complete, rejected or
+        dropped)."""
+        return self.completed + self.rejected + self.dropped
 
     def percentile(self, q: float) -> float:
         """Exact latency quantile in seconds (the repo's shared rank rule)."""
         return rank_quantile(sorted(self.latencies), q)
 
-    def throughput_rps(self) -> float:
-        """Completed requests per simulated second over the busy interval."""
-        if self.completed == 0 or self.first_arrival is None:
+    def _busy_span(self) -> float:
+        if self.first_arrival is None:
             return 0.0
         last = (
             self.last_completion if self.last_completion is not None else self.sim.now
         )
-        span = last - self.first_arrival
+        return last - self.first_arrival
+
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second over the busy interval."""
+        if self.completed == 0:
+            return 0.0
+        span = self._busy_span()
         return self.completed / span if span > 0 else 0.0
+
+    def goodput_rps(self) -> float:
+        """Within-deadline completions per simulated second.
+
+        Requests without an SLO deadline (``deadline == inf``) always
+        complete in time, so for no-QoS runs goodput equals throughput.
+        """
+        if self.goodput == 0:
+            return 0.0
+        span = self._busy_span()
+        return self.goodput / span if span > 0 else 0.0
 
     def mean_latency(self) -> float:
         acc = Accumulator()
@@ -149,7 +214,10 @@ class ServingStats:
             "submitted": float(self.submitted),
             "completed": float(self.completed),
             "rejected": float(self.rejected),
+            "dropped": float(self.dropped),
+            "goodput": float(self.goodput),
             "throughput_rps": self.throughput_rps(),
+            "goodput_rps": self.goodput_rps(),
             "mean_ms": lat["mean_ms"],
             "p50_ms": lat["p50_ms"],
             "p95_ms": lat["p95_ms"],
@@ -163,6 +231,33 @@ class ServingStats:
             "max_inflight": float(self.max_inflight),
             "mean_batch_requests": self.requests_per_batch.mean,
         }
+
+    def lane_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-model (per-lane/tenant) QoS breakdown.
+
+        One row per model that submitted anything: terminal counts, the
+        goodput fraction of submissions, and the lane's own p50/p95
+        latency — the numbers an SLO dashboard would show per tenant.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for model in sorted(self.submitted_by_model):
+            submitted = self.submitted_by_model[model]
+            lane_lat = sorted(self.latencies_by_model.get(model, []))
+            out[model] = {
+                "submitted": float(submitted),
+                "completed": float(self.completed_by_model.get(model, 0)),
+                "rejected": float(self.rejected_by_model.get(model, 0)),
+                "dropped": float(self.dropped_by_model.get(model, 0)),
+                "goodput": float(self.goodput_by_model.get(model, 0)),
+                "goodput_frac": (
+                    self.goodput_by_model.get(model, 0) / submitted
+                    if submitted
+                    else 0.0
+                ),
+                "p50_ms": rank_quantile(lane_lat, 0.50) * 1e3,
+                "p95_ms": rank_quantile(lane_lat, 0.95) * 1e3,
+            }
+        return out
 
     def shard_summary(self) -> Dict[str, Dict[int, Dict[str, float]]]:
         """Per-model, per-shard work breakdown: batches, SLS ops, lookups,

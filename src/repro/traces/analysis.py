@@ -14,6 +14,7 @@ __all__ = [
     "reuse_cdf",
     "lru_page_hit_rate",
     "stack_distances",
+    "interarrival_stats",
 ]
 
 
@@ -62,6 +63,30 @@ def lru_page_hit_rate(
         else:
             cache.insert(int(page), marker)
     return hits / trace.size if trace.size else 0.0
+
+
+def interarrival_stats(times: Sequence[float]) -> Dict[str, float]:
+    """Arrival-process shape of a timestamp trace.
+
+    Returns mean offered rate and the coefficient of variation of the
+    inter-arrival gaps — the statistic that separates arrival models: a
+    Poisson open loop has CV ~= 1, a deterministic (uniform) open loop
+    CV = 0, and a closed-loop client population self-throttles to
+    sub-exponential variability.  Used by the ``qos`` experiment to
+    label the load it generated (:mod:`repro.workload`).
+    """
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.size < 2:
+        return {"n": float(arr.size), "rate": 0.0, "cv": 0.0}
+    gaps = np.diff(np.sort(arr))
+    mean = float(gaps.mean())
+    if mean <= 0:
+        return {"n": float(arr.size), "rate": 0.0, "cv": 0.0}
+    return {
+        "n": float(arr.size),
+        "rate": 1.0 / mean,
+        "cv": float(gaps.std() / mean),
+    }
 
 
 def stack_distances(trace: Sequence[int]) -> List[int]:

@@ -1,0 +1,64 @@
+"""Load generation for the serving layer: clients, traces, scenarios.
+
+The paper evaluates RecSSD under *load*: production-shaped id streams
+(Figs 3/4) and latency-vs-throughput serving curves (Fig 6).  The seed
+repo drove the serving layer one way — open-loop Poisson arrivals via
+``run_offered_load`` — which neither models how clients actually behave
+(closed-loop: a client waits for its answer, thinks, asks again) nor
+replays realistic locality through the stack.  This package is the
+missing workload half of the serving story:
+
+* :mod:`repro.workload.arrivals` — arrival processes and
+  :class:`ArrivalTrace`, a recorded/pre-generated arrival-time trace
+  that makes any run exactly replayable.
+* :mod:`repro.workload.generators` — one :class:`LoadGenerator`
+  interface over open-loop (Poisson/uniform) arrivals, closed-loop
+  client populations with think time, and trace replay; feed them Fig
+  3/4-shaped id streams by passing :mod:`repro.traces` generators as
+  per-table samplers.  :func:`run_workload` drives any mix of
+  generators against one :class:`~repro.serving.InferenceServer`.
+  ``repro.serving.run_offered_load`` is now a thin front-end over
+  :class:`OpenLoopGenerator` (bit-identical for existing seeds).
+* :mod:`repro.workload.scenario` — declarative multi-tenant mixes:
+  :class:`TenantSpec` (model x client population x arrival process x
+  SLO deadline x priority/quota) under one :class:`ScenarioSpec`, run
+  end-to-end by :func:`run_scenario`.
+
+QoS admission (deadline-aware early drop, per-model quotas, priority
+lanes) lives in :mod:`repro.serving.admission`; scenarios declare the
+per-tenant knobs and goodput (completed within deadline) comes back in
+:meth:`~repro.serving.stats.ServingStats.lane_summary`.  See the
+"Workloads & QoS" section of ``docs/SERVING.md``.
+"""
+
+from .arrivals import ArrivalTrace, poisson_gaps, uniform_gaps
+from .generators import (
+    ClosedLoopGenerator,
+    LoadGenerator,
+    OpenLoopGenerator,
+    TraceReplayGenerator,
+    run_workload,
+)
+from .scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    TenantSpec,
+    run_scenario,
+    tenant_samplers,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "poisson_gaps",
+    "uniform_gaps",
+    "LoadGenerator",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "TraceReplayGenerator",
+    "run_workload",
+    "TenantSpec",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
+    "tenant_samplers",
+]

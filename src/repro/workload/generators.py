@@ -1,0 +1,288 @@
+"""Client models: open-loop, closed-loop and trace-replay load generation.
+
+Every generator speaks one interface — :meth:`LoadGenerator.schedule`
+plants its submissions (or its clients) into a server's simulator, and
+:attr:`LoadGenerator.total_requests` says how many submissions it will
+make — so :func:`run_workload` can drive any mix of them against one
+:class:`~repro.serving.InferenceServer` and stop when every submission
+reached a terminal state (complete, rejected or dropped).
+
+The three client models and what they measure:
+
+* :class:`OpenLoopGenerator` — arrivals fire on their own clock
+  (Poisson or deterministic), regardless of how the server keeps up.
+  The right model for *overload* studies: offered load can exceed
+  capacity, so queues grow and admission policy matters.
+* :class:`ClosedLoopGenerator` — ``num_clients`` synchronous clients,
+  each with at most one request outstanding: submit, wait for the
+  answer, think, repeat.  Offered load self-throttles to the server's
+  speed (the classic interactive-client model), so latency-vs-load
+  curves come from sweeping the population, not a rate knob.
+* :class:`TraceReplayGenerator` — replays a recorded/pre-generated
+  :class:`~repro.workload.arrivals.ArrivalTrace` verbatim.
+
+All three draw lookup ids through the model's ``sample_batch`` —
+pass :mod:`repro.traces` generators (``LocalityTraceGenerator.generate``
+/ ``ZipfTraceGenerator.generate``) as per-table ``samplers`` to push Fig
+3/4-shaped id streams through the full serving path (see
+:func:`repro.workload.scenario.tenant_samplers`).
+
+Determinism: one RNG is shared by every generator in a run and consumed
+in a deterministic order — open-loop draws happen at schedule time in
+generator order (for ``run_offered_load`` this order is bit-identical
+to the pre-workload implementation), closed-loop draws happen in
+simulated-event order, which the discrete-event kernel makes
+reproducible.  Same seed, same latency distribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..models.base import IndexSampler
+from .arrivals import ArrivalTrace
+
+__all__ = [
+    "LoadGenerator",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "TraceReplayGenerator",
+    "run_workload",
+]
+
+Samplers = Optional[Dict[str, IndexSampler]]
+
+
+class LoadGenerator(ABC):
+    """One source of inference traffic for a single registered model."""
+
+    def __init__(self, model: str, batch_size: int = 1, samplers: Samplers = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.batch_size = batch_size
+        self.samplers = samplers
+
+    @property
+    @abstractmethod
+    def total_requests(self) -> int:
+        """Submissions this generator will make over its lifetime."""
+
+    @abstractmethod
+    def schedule(self, server, rng: np.random.Generator) -> None:
+        """Plant this generator's traffic into ``server``'s simulator.
+
+        Called once, before (or while) the simulator runs; submissions
+        happen in simulated time via ``server.submit``.
+        """
+
+    def _sample(self, server, rng: np.random.Generator):
+        model = server.models[self.model]  # KeyError for unknown models
+        return model.sample_batch(rng, self.batch_size, samplers=self.samplers)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.model}, "
+            f"total={self.total_requests}, batch={self.batch_size})"
+        )
+
+
+class OpenLoopGenerator(LoadGenerator):
+    """Open-loop arrivals: requests fire on their own clock.
+
+    ``process`` picks the arrival process: ``"poisson"`` (exponential
+    gaps — the seed's ``run_offered_load`` behaviour) or ``"uniform"``
+    (constant gaps).  ``arrivals`` instead replays pre-generated
+    absolute offsets (an :class:`ArrivalTrace`'s ``times``), skipping
+    the gap draws entirely.
+
+    Draw order per generator (gap vector first, then one batch per
+    arrival) is bit-identical to the pre-workload ``run_offered_load``
+    loop, so existing seeded experiments reproduce exactly.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        rate: Optional[float] = None,
+        n_requests: int = 0,
+        batch_size: int = 1,
+        process: str = "poisson",
+        samplers: Samplers = None,
+        arrivals: Optional[np.ndarray] = None,
+    ):
+        super().__init__(model, batch_size, samplers)
+        if process not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival process {process!r}")
+        if arrivals is None:
+            if rate is None or rate <= 0:
+                raise ValueError(f"rate for {model!r} must be positive")
+            if n_requests < 1:
+                raise ValueError("n_requests must be >= 1")
+        else:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            if np.any(np.diff(arrivals) < 0):
+                raise ValueError("arrivals must be ascending")
+            n_requests = int(arrivals.size)
+        self.rate = rate
+        self.n_requests = n_requests
+        self.process = process
+        self.arrivals = arrivals
+
+    @property
+    def total_requests(self) -> int:
+        return self.n_requests
+
+    def schedule(self, server, rng: np.random.Generator) -> None:
+        sim = server.sim
+        server.models[self.model]  # KeyError early for unknown models
+        if self.arrivals is not None:
+            times = sim.now + self.arrivals
+            for t in times:
+                batch = self._sample(server, rng)
+                sim.schedule_at(
+                    float(t), lambda b=batch: server.submit(self.model, b)
+                )
+            return
+        if self.process == "poisson":
+            gaps = rng.exponential(1.0 / self.rate, size=self.n_requests)
+        else:
+            gaps = np.full(self.n_requests, 1.0 / self.rate)
+        # Sequential accumulation, not cumsum: float addition order is
+        # part of the bit-identity contract with the legacy loop.
+        arrival = sim.now
+        for gap in gaps:
+            arrival += float(gap)
+            batch = self._sample(server, rng)
+            sim.schedule_at(
+                arrival, lambda b=batch: server.submit(self.model, b)
+            )
+
+
+class TraceReplayGenerator(OpenLoopGenerator):
+    """Replay an :class:`ArrivalTrace` through the serving path.
+
+    Arrival times come verbatim from the trace (offsets applied from the
+    simulator's current time); lookup ids come from ``samplers`` — pass
+    locality/power-law generators from :mod:`repro.traces` to replay the
+    paper's Fig 3/4 trace shapes as real serving load.
+    """
+
+    def __init__(
+        self,
+        trace: ArrivalTrace,
+        batch_size: int = 1,
+        samplers: Samplers = None,
+    ):
+        super().__init__(
+            trace.model,
+            batch_size=batch_size,
+            samplers=samplers,
+            arrivals=trace.times,
+        )
+        self.trace = trace
+
+
+class ClosedLoopGenerator(LoadGenerator):
+    """``num_clients`` synchronous clients with think time.
+
+    Each client keeps exactly one request outstanding: submit, wait for
+    the terminal callback (complete, rejected *or* dropped — a shed
+    request still consumes one of the client's turns), think, submit
+    again, for ``requests_per_client`` turns.  ``think_time_s`` is the
+    mean think time; ``think="exponential"`` draws it per turn (the
+    classic interactive-user model), ``"fixed"`` uses the constant.
+
+    Offered load self-throttles: the aggregate rate can never exceed
+    ``num_clients / (mean_response + think_time)``, so sweeping
+    ``num_clients`` traces out a latency-vs-load curve that bends at
+    saturation instead of diverging.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        num_clients: int,
+        requests_per_client: int,
+        think_time_s: float = 0.0,
+        think: str = "exponential",
+        batch_size: int = 1,
+        samplers: Samplers = None,
+    ):
+        super().__init__(model, batch_size, samplers)
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if requests_per_client < 1:
+            raise ValueError("requests_per_client must be >= 1")
+        if think_time_s < 0:
+            raise ValueError("think_time_s must be >= 0")
+        if think not in ("exponential", "fixed"):
+            raise ValueError(f"unknown think-time model {think!r}")
+        self.num_clients = num_clients
+        self.requests_per_client = requests_per_client
+        self.think_time_s = think_time_s
+        self.think = think
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+    def _think_delay(self, rng: np.random.Generator) -> float:
+        if self.think_time_s == 0.0:
+            return 0.0
+        if self.think == "exponential":
+            return float(rng.exponential(self.think_time_s))
+        return self.think_time_s
+
+    def schedule(self, server, rng: np.random.Generator) -> None:
+        server.models[self.model]  # KeyError early for unknown models
+        for _ in range(self.num_clients):
+            self._client_turn(server, rng, self.requests_per_client)
+
+    def _client_turn(self, server, rng: np.random.Generator, remaining: int) -> None:
+        batch = self._sample(server, rng)
+
+        def done(_request, remaining=remaining):
+            if remaining <= 1:
+                return
+            # Think, then take the next turn.  Scheduling through the
+            # simulator (even for zero think time) keeps the next submit
+            # out of the server's completion path.
+            server.sim.schedule(
+                self._think_delay(rng),
+                lambda: self._client_turn(server, rng, remaining - 1),
+            )
+
+        server.submit(self.model, batch, on_done=done)
+
+
+def run_workload(
+    server,
+    generators: Union[LoadGenerator, Sequence[LoadGenerator]],
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    limit: float = float("inf"),
+):
+    """Drive ``generators`` against ``server`` until all traffic settled.
+
+    Returns the server's :class:`~repro.serving.stats.ServingStats`.
+    One RNG (from ``rng`` or ``seed``) is shared by every generator, so
+    a whole multi-tenant run is reproducible from a single seed.
+    """
+    gens: List[LoadGenerator] = (
+        [generators] if isinstance(generators, LoadGenerator) else list(generators)
+    )
+    if not gens:
+        raise ValueError("need at least one load generator")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    base = server.stats.settled
+    total = 0
+    for generator in gens:
+        generator.schedule(server, rng)
+        total += generator.total_requests
+    server.sim.run_until(lambda: server.stats.settled >= base + total, limit)
+    return server.stats

@@ -1,0 +1,296 @@
+"""Declarative multi-tenant serving scenarios.
+
+A :class:`ScenarioSpec` names everything one serving experiment needs —
+N models x client populations x arrival processes x SLO deadlines x
+QoS policy — as plain data, and :func:`run_scenario` turns it into a
+configured :class:`~repro.serving.InferenceServer`, the matching
+:mod:`repro.workload.generators`, one deterministic run, and a
+:class:`ScenarioResult` with overall and per-tenant (per-lane) numbers.
+
+One tenant == one registered model == one queue lane: the admission
+config's per-model SLO/priority/quota maps are assembled from the
+tenant specs, and :meth:`~repro.serving.stats.ServingStats.lane_summary`
+reports each tenant's goodput and tail latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.engine import NdpEngineConfig
+from ..host.system import System, build_system
+from ..models.base import IndexSampler, RecModel
+from ..models.runner import BackendKind, required_capacity_pages
+from ..serving import AdmissionConfig, InferenceServer, ServingConfig, ServingStats
+from ..traces.locality import LocalityTraceGenerator
+from ..traces.powerlaw import ZipfTraceGenerator
+from .arrivals import ArrivalTrace
+from .generators import (
+    ClosedLoopGenerator,
+    LoadGenerator,
+    OpenLoopGenerator,
+    TraceReplayGenerator,
+    run_workload,
+)
+
+__all__ = [
+    "TenantSpec",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
+    "tenant_samplers",
+]
+
+
+def tenant_samplers(
+    model: RecModel,
+    locality_k: Optional[float] = None,
+    zipf_alpha: Optional[float] = None,
+    seed: int = 0,
+) -> Optional[Dict[str, IndexSampler]]:
+    """Per-table id samplers shaped like the paper's traces.
+
+    ``locality_k`` builds Fig 4-style stack-distance locality streams
+    (:class:`~repro.traces.locality.LocalityTraceGenerator`);
+    ``zipf_alpha`` builds Fig 3-style power-law popularity streams
+    (:class:`~repro.traces.powerlaw.ZipfTraceGenerator`).  ``None`` for
+    both means uniform ids (the model's default sampler).
+    """
+    if locality_k is not None and zipf_alpha is not None:
+        raise ValueError("pick locality_k or zipf_alpha, not both")
+    if locality_k is None and zipf_alpha is None:
+        return None
+    samplers: Dict[str, IndexSampler] = {}
+    for i, feature in enumerate(model.features):
+        table_seed = seed + 31 * i
+        if locality_k is not None:
+            samplers[feature.name] = LocalityTraceGenerator(
+                table_rows=feature.spec.rows, k=locality_k, seed=table_seed
+            ).generate
+        else:
+            samplers[feature.name] = ZipfTraceGenerator(
+                table_rows=feature.spec.rows, alpha=zipf_alpha, seed=table_seed
+            ).generate
+    return samplers
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic and QoS contract.
+
+    ``arrival`` selects the client model: ``"open"`` (``rate`` rps
+    Poisson, ``n_requests`` total), ``"closed"`` (``num_clients`` x
+    ``requests_per_client`` with ``think_time_s``) or ``"replay"``
+    (verbatim :class:`ArrivalTrace` in ``trace``).  ``slo_s`` is the
+    relative deadline goodput is measured against (and, with the
+    scenario's ``deadline_drop``, the early-drop criterion); ``priority``
+    and ``quota`` feed the admission config's lane maps.  ``locality_k``
+    / ``zipf_alpha`` shape the lookup id stream after the paper's
+    Fig 4 / Fig 3 trace characterizations.
+    """
+
+    model: str
+    arrival: str = "open"
+    rate: float = 0.0
+    n_requests: int = 0
+    num_clients: int = 0
+    requests_per_client: int = 0
+    think_time_s: float = 0.0
+    trace: Optional[ArrivalTrace] = None
+    batch_size: int = 1
+    slo_s: Optional[float] = None
+    priority: int = 0
+    quota: Optional[int] = None
+    locality_k: Optional[float] = None
+    zipf_alpha: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("open", "closed", "replay"):
+            raise ValueError(f"unknown arrival model {self.arrival!r}")
+        if self.arrival == "open" and (self.rate <= 0 or self.n_requests < 1):
+            raise ValueError(f"open tenant {self.model!r} needs rate and n_requests")
+        if self.arrival == "closed" and (
+            self.num_clients < 1 or self.requests_per_client < 1
+        ):
+            raise ValueError(
+                f"closed tenant {self.model!r} needs num_clients and "
+                f"requests_per_client"
+            )
+        if self.arrival == "replay" and self.trace is None:
+            raise ValueError(f"replay tenant {self.model!r} needs a trace")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+
+    @property
+    def total_requests(self) -> int:
+        if self.arrival == "open":
+            return self.n_requests
+        if self.arrival == "closed":
+            return self.num_clients * self.requests_per_client
+        return self.trace.n_requests
+
+    def to_generator(self, model: RecModel, seed: int = 0) -> LoadGenerator:
+        if model.name != self.model:
+            raise ValueError(f"model {model.name!r} is not tenant {self.model!r}")
+        samplers = tenant_samplers(
+            model, self.locality_k, self.zipf_alpha, seed=seed
+        )
+        if self.arrival == "open":
+            return OpenLoopGenerator(
+                self.model,
+                rate=self.rate,
+                n_requests=self.n_requests,
+                batch_size=self.batch_size,
+                samplers=samplers,
+            )
+        if self.arrival == "closed":
+            return ClosedLoopGenerator(
+                self.model,
+                num_clients=self.num_clients,
+                requests_per_client=self.requests_per_client,
+                think_time_s=self.think_time_s,
+                batch_size=self.batch_size,
+                samplers=samplers,
+            )
+        return TraceReplayGenerator(
+            self.trace, batch_size=self.batch_size, samplers=samplers
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A whole serving experiment as data: tenants + server knobs + QoS."""
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    backend: str = "ndp"                 # dram | ssd | ndp
+    max_inflight_requests: Optional[int] = None
+    max_batch_requests: int = 8
+    max_inflight_batches_per_worker: int = 2
+    max_inflight_batches_total: Optional[int] = None
+    dense_stage: bool = True
+    deadline_drop: bool = False
+    drop_headroom_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("scenario needs at least one tenant")
+        names = [t.model for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("one lane per tenant: tenant models must be unique")
+        BackendKind(self.backend)  # ValueError for unknown backends
+
+    @property
+    def backend_kind(self) -> BackendKind:
+        return BackendKind(self.backend)
+
+    def admission_config(self) -> AdmissionConfig:
+        """Per-tenant SLO/priority/quota maps gathered into one policy."""
+        return AdmissionConfig(
+            deadline_drop=self.deadline_drop,
+            drop_headroom_s=self.drop_headroom_s,
+            slo_by_model={
+                t.model: t.slo_s for t in self.tenants if t.slo_s is not None
+            },
+            quota_by_model={
+                t.model: t.quota for t in self.tenants if t.quota is not None
+            },
+            priority_by_model={
+                t.model: t.priority for t in self.tenants if t.priority != 0
+            },
+        )
+
+    def serving_config(self) -> ServingConfig:
+        return ServingConfig(
+            max_inflight_requests=self.max_inflight_requests,
+            max_batch_requests=self.max_batch_requests,
+            max_inflight_batches_per_worker=self.max_inflight_batches_per_worker,
+            max_inflight_batches_total=self.max_inflight_batches_total,
+            dense_stage=self.dense_stage,
+            admission=self.admission_config(),
+        )
+
+    @property
+    def total_requests(self) -> int:
+        return sum(t.total_requests for t in self.tenants)
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario run: the server it built and what happened."""
+
+    spec: ScenarioSpec
+    server: InferenceServer
+    stats: ServingStats
+    summary: Dict[str, float]
+    lanes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def lane(self, model: str) -> Dict[str, float]:
+        return self.lanes[model]
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioResult({self.spec.name}, "
+            f"completed={self.summary['completed']:.0f}, "
+            f"goodput={self.summary['goodput']:.0f}, "
+            f"p95={self.summary['p95_ms']:.2f}ms)"
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    models: Union[Sequence[RecModel], Mapping[str, RecModel]],
+    system: Optional[System] = None,
+    num_workers: int = 1,
+    sharding=None,
+) -> ScenarioResult:
+    """Build, run and summarize one scenario end-to-end.
+
+    ``models`` supplies the actual :class:`RecModel` instances the
+    tenant specs name (a sequence or a name-keyed mapping).  ``system``
+    defaults to a fresh single-SSD system sized for the largest model
+    with device-side NDP backpressure enabled; ``num_workers`` /
+    ``sharding`` pass through to ``register_model`` so scenarios can run
+    against multi-SSD layouts too.  Deterministic for a fixed
+    ``spec.seed``.
+    """
+    by_name = (
+        dict(models)
+        if isinstance(models, Mapping)
+        else {model.name: model for model in models}
+    )
+    missing = [t.model for t in spec.tenants if t.model not in by_name]
+    if missing:
+        raise KeyError(f"scenario {spec.name!r} names unknown models {missing}")
+    if system is None:
+        capacity = max(
+            required_capacity_pages(by_name[t.model]) for t in spec.tenants
+        )
+        system = build_system(
+            min_capacity_pages=capacity,
+            ndp=NdpEngineConfig(queue_when_full=True),
+        )
+    server = InferenceServer(system, spec.serving_config())
+    for tenant in spec.tenants:
+        server.register_model(
+            by_name[tenant.model],
+            spec.backend_kind,
+            num_workers=num_workers,
+            sharding=sharding,
+        )
+    generators = [
+        tenant.to_generator(by_name[tenant.model], seed=spec.seed + 101 * i)
+        for i, tenant in enumerate(spec.tenants)
+    ]
+    stats = run_workload(server, generators, seed=spec.seed)
+    return ScenarioResult(
+        spec=spec,
+        server=server,
+        stats=stats,
+        summary=stats.summary(),
+        lanes=stats.lane_summary(),
+    )

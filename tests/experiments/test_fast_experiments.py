@@ -103,7 +103,7 @@ class TestRegistry:
         expected = {
             "fig3", "fig4", "fig5", "fig6", "table1",
             "fig8", "fig9", "fig10", "fig11",
-            "ablations", "calibration", "multi_ssd",
+            "ablations", "calibration", "multi_ssd", "qos",
         }
         assert set(REGISTRY) == expected
 

@@ -1,0 +1,141 @@
+"""``run_offered_load`` on the workload stack stays bit-identical.
+
+The refactor moved open-loop scheduling into
+:class:`repro.workload.OpenLoopGenerator`; these tests pin the contract
+that existing seeded experiments (benchmarks, figures, golden numbers)
+reproduce *exactly*: the legacy generation order — per model, one gap
+vector, then one sampled batch per arrival, all from a single shared
+RNG, arrival times accumulated by sequential float addition — is
+replayed verbatim against an inline copy of the pre-refactor loop.
+"""
+
+import numpy as np
+
+from repro.serving import run_offered_load
+
+from ..serving.conftest import build_server, toy_model
+
+
+def legacy_run_offered_load(
+    server, loads, n_requests, batch_size=1, seed=0, samplers=None
+):
+    """Verbatim pre-workload implementation (PR 1), kept as the oracle."""
+    if not loads:
+        raise ValueError("need at least one (model, rate) load")
+    rng = np.random.default_rng(seed)
+    sim = server.sim
+    for model_name, rate in loads.items():
+        if rate <= 0:
+            raise ValueError(f"rate for {model_name!r} must be positive")
+        model = server.models[model_name]
+        gaps = rng.exponential(1.0 / rate, size=n_requests)
+        arrival = sim.now
+        for gap in gaps:
+            arrival += float(gap)
+            batch = model.sample_batch(rng, batch_size, samplers=samplers)
+            sim.schedule_at(
+                arrival,
+                lambda m=model_name, b=batch: server.submit(m, b),
+            )
+    target = server.stats.settled + len(loads) * n_requests
+    sim.run_until(lambda: server.stats.settled >= target)
+    return server.stats
+
+
+class TestBitIdenticalRefactor:
+    def _pair(self, models=None, loads=None, seed=0, **kwargs):
+        if models is None:
+            models = [toy_model()]
+            loads = {"toy": 1500.0}
+        legacy = legacy_run_offered_load(
+            build_server([m for m in map(_clone, models)]),
+            loads,
+            seed=seed,
+            **kwargs,
+        )
+        current = run_offered_load(
+            build_server([m for m in map(_clone, models)]),
+            loads,
+            seed=seed,
+            **kwargs,
+        )
+        return legacy, current
+
+    def test_single_model_bit_identical(self):
+        for seed in (0, 11, 23):
+            legacy, current = self._pair(seed=seed, n_requests=30, batch_size=2)
+            assert legacy.latencies == current.latencies, seed
+            assert legacy.queue_delays == current.queue_delays, seed
+            assert legacy.summary() == current.summary(), seed
+
+    def test_multi_model_dict_order_bit_identical(self):
+        models = [("a", 1), ("b", 2)]
+        loads = {"a": 900.0, "b": 1200.0}
+        legacy, current = self._pair(
+            models=models, loads=loads, seed=5, n_requests=15, batch_size=2
+        )
+        assert legacy.latencies == current.latencies
+        assert legacy.completed_by_model == current.completed_by_model
+
+    def test_explicit_rng_matches_seed(self):
+        a = run_offered_load(
+            build_server(toy_model()),
+            {"toy": 1500.0},
+            n_requests=20,
+            batch_size=2,
+            seed=23,
+        )
+        b = run_offered_load(
+            build_server(toy_model()),
+            {"toy": 1500.0},
+            n_requests=20,
+            batch_size=2,
+            seed=999,  # must be ignored when rng is given
+            rng=np.random.default_rng(23),
+        )
+        assert a.latencies == b.latencies
+
+    def test_pregenerated_arrivals_replay_identically(self):
+        from repro.workload import ArrivalTrace
+
+        trace = ArrivalTrace.poisson("toy", 1500.0, 25, rng_or_seed=42)
+
+        def once():
+            return run_offered_load(
+                build_server(toy_model()),
+                {"toy": 1500.0},
+                n_requests=25,
+                batch_size=2,
+                seed=7,
+                arrivals={"toy": trace.times},
+            )
+
+        a, b = once(), once()
+        assert a.latencies == b.latencies
+        # And the arrivals really came from the trace, not the rate.
+        assert a.first_arrival == trace.times[0]
+
+    def test_replicate_policy_serving_bit_identical(self):
+        """The ISSUE's regression bar: legacy ReplicatePolicy serving
+        behaviour through run_offered_load is unchanged."""
+        from repro.serving import ReplicatePolicy
+
+        def run(sharding):
+            server = build_server(
+                toy_model(), num_workers=2, sharding=sharding
+            )
+            return run_offered_load(
+                server, {"toy": 1500.0}, n_requests=24, batch_size=2, seed=11
+            )
+
+        none_stats = run(None)
+        policy_stats = run(ReplicatePolicy())
+        assert none_stats.latencies == policy_stats.latencies
+        assert none_stats.summary() == policy_stats.summary()
+
+
+def _clone(spec):
+    if isinstance(spec, tuple):
+        name, seed = spec
+        return toy_model(name=name, seed=seed)
+    return toy_model()
