@@ -47,12 +47,21 @@ class EmbStageResult:
 
 
 class EmbeddingStage:
-    """Runs one batch of lookups across all tables of a model."""
+    """Runs one batch of lookups across all tables of a model.
 
-    def __init__(self, backends: Dict[str, SlsBackend]):
+    ``sls_pool`` (optional — any object with the
+    :class:`repro.serving.hostpool.HostSlsPool` ``acquire``/``release``
+    contract) bounds how many per-table operations the host drives
+    concurrently: each table op holds one pool worker from launch to
+    completion.  ``None`` (default) keeps the seed's free overlap — all
+    table ops launch immediately.
+    """
+
+    def __init__(self, backends: Dict[str, SlsBackend], sls_pool=None):
         if not backends:
             raise ValueError("need at least one table backend")
         self.backends = dict(backends)
+        self.sls_pool = sls_pool
         sims = {id(b.system.sim) for b in self.backends.values()}
         if len(sims) != 1:
             raise ValueError("all backends must share one simulator")
@@ -96,10 +105,23 @@ class EmbeddingStage:
             return
         for name in names:
             backend = self.backends[name]
-            backend.start(
-                bags_by_table[name],
-                lambda result, _n=name: table_done(_n, result),
-            )
+            if self.sls_pool is None:
+                backend.start(
+                    bags_by_table[name],
+                    lambda result, _n=name: table_done(_n, result),
+                )
+                continue
+
+            # One host SLS worker drives this table op from launch to
+            # completion; with a bounded pool the launch itself may wait.
+            def launch(_n=name, _b=backend, _bags=bags_by_table[name]):
+                def op_done(result, _n=_n):
+                    self.sls_pool.release()
+                    table_done(_n, result)
+
+                _b.start(_bags, op_done)
+
+            self.sls_pool.acquire(launch)
 
     def run_sync(self, bags_by_table: Dict[str, Sequence[np.ndarray]]) -> EmbStageResult:
         box: List[EmbStageResult] = []

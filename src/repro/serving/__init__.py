@@ -20,9 +20,15 @@ load shape against the simulated stack:
   :class:`~repro.serving.sharding.RowShardPolicy`) and the
   scatter-gather stage that splits one coalesced batch across the
   devices owning its table pieces and merges partial sums host-side.
+* :mod:`repro.serving.hostpool` — the host resource model: a bounded
+  dense-stage NN worker pool and a bounded host SLS worker pool
+  (per-table DRAM gathers and NDP host split/merge hold workers instead
+  of overlapping for free), each with queueing, wait-time breakdowns
+  and utilization gauges.  Defaults are bit-identical to the unbounded
+  seed behaviour.
 * :class:`~repro.serving.stats.ServingStats` — per-request latency
   percentiles (p50/p95/p99), throughput, goodput (completions within
-  deadline), per-lane and per-shard work breakdowns.
+  deadline), per-lane, per-shard and host-pool work breakdowns.
 * :class:`~repro.serving.server.InferenceServer` — ties it together;
   :func:`~repro.serving.server.run_offered_load` drives open-loop
   Poisson experiments (a thin front-end over :mod:`repro.workload`,
@@ -42,6 +48,12 @@ from .admission import (
     REASON_DEADLINE,
     REASON_QUOTA,
     AdmissionConfig,
+)
+from .hostpool import (
+    DenseServiceModel,
+    DenseWorkerPool,
+    HostResourceModel,
+    HostSlsPool,
 )
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
@@ -84,4 +96,8 @@ __all__ = [
     "ModuloRowMapping",
     "LookupRowMapping",
     "ShardedEmbeddingStage",
+    "DenseServiceModel",
+    "DenseWorkerPool",
+    "HostResourceModel",
+    "HostSlsPool",
 ]

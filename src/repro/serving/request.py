@@ -50,6 +50,9 @@ class InferenceRequest:
     t_arrival: float = 0.0
     t_dispatch: float = -1.0
     t_emb_done: float = -1.0
+    # When the dense-stage job claimed an NN worker (== t_emb_done with
+    # an idle/unbounded pool; later when dense workers are contended).
+    t_dense_start: float = -1.0
     t_done: float = -1.0
     deadline: float = float("inf")
     priority: int = 0
@@ -67,6 +70,13 @@ class InferenceRequest:
     def queue_delay(self) -> float:
         """Time spent waiting in the request queue before dispatch."""
         return self.t_dispatch - self.t_arrival
+
+    @property
+    def dense_wait(self) -> float:
+        """Time spent waiting for a dense NN worker (0.0 when unknown)."""
+        if self.t_dense_start < 0 or self.t_emb_done < 0:
+            return 0.0
+        return self.t_dense_start - self.t_emb_done
 
     @property
     def done(self) -> bool:

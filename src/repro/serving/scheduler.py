@@ -51,6 +51,11 @@ class SchedulerConfig:
     # slots are re-awarded through the queue's priority-class scan, which
     # is what makes priority lanes arbitrate a real shared resource.
     max_inflight_batches_total: Optional[int] = None
+    # Host SLS worker pool size (repro.serving.hostpool.HostSlsPool):
+    # dispatch additionally requires a free host SLS worker, and every
+    # per-table (per-shard) SLS op holds one worker launch-to-completion.
+    # None (default) is the seed behaviour — an infinite pool.
+    host_sls_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_requests < 1:
@@ -62,6 +67,8 @@ class SchedulerConfig:
             and self.max_inflight_batches_total < 1
         ):
             raise ValueError("max_inflight_batches_total must be >= 1")
+        if self.host_sls_workers is not None and self.host_sls_workers < 1:
+            raise ValueError("host_sls_workers must be None or >= 1")
 
 
 class ModelWorker:
@@ -107,6 +114,7 @@ class BatchScheduler:
         config: SchedulerConfig,
         on_batch_done: Callable[[List[InferenceRequest]], None],
         on_expired: Callable[[InferenceRequest], bool] | None = None,
+        host_sls=None,
     ):
         self.sim = sim
         self.queue = queue
@@ -118,6 +126,21 @@ class BatchScheduler:
         # it is popped for dispatch; returning True means the callback
         # consumed it (dropped + slot released) — see RequestQueue.pop_batch.
         self.on_expired = on_expired
+        # Host SLS worker pool (repro.serving.hostpool.HostSlsPool) the
+        # dispatched batches' table ops run on; dispatch requires a free
+        # worker.  None (or an unbounded pool) never gates.  The config
+        # knob and the pool must agree — a bound declared in the config
+        # with no pool enforcing it (or a mismatched pool) would silently
+        # diverge from the declared behaviour.
+        if config.host_sls_workers is not None and (
+            host_sls is None or host_sls.workers != config.host_sls_workers
+        ):
+            raise ValueError(
+                f"SchedulerConfig.host_sls_workers={config.host_sls_workers} "
+                f"but the scheduler was given "
+                f"{'no host_sls pool' if host_sls is None else f'a pool of {host_sls.workers}'}"
+            )
+        self.host_sls = host_sls
         self.inflight_batches_total = 0
         self._rr_worker: Dict[str, int] = {}
 
@@ -141,6 +164,12 @@ class BatchScheduler:
         while True:
             total_cap = self.config.max_inflight_batches_total
             if total_cap is not None and self.inflight_batches_total >= total_cap:
+                return
+            # Dispatch acquires host SLS capacity: a batch's per-table
+            # ops run on the host SLS worker pool, so dispatching with
+            # every worker busy would only grow the pool's op queue.
+            # Freed workers re-pump via the pool's on_free hook.
+            if self.host_sls is not None and not self.host_sls.has_free:
                 return
             # One scan doubles as readiness check and worker selection;
             # next_model stops at the first lane whose pool has capacity.

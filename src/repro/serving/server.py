@@ -38,6 +38,7 @@ from ..host.system import System
 from ..models.base import Batch, RecModel
 from ..models.runner import BackendKind, RunnerConfig, build_backends
 from .admission import REASON_DEADLINE, AdmissionConfig
+from .hostpool import HostResourceModel
 from .queue import RequestQueue
 from .request import InferenceRequest, RequestState
 from .scheduler import BatchScheduler, ModelWorker, SchedulerConfig
@@ -58,8 +59,8 @@ class ServingConfig:
     # slots are re-awarded priority-class-first, so QoS priority lanes
     # need a cap (or another shared constraint) to arbitrate.
     max_inflight_batches_total: Optional[int] = None
-    # Run the model's dense tower after the embedding stage (serialized on
-    # the host NN workers, as in the inference pipeline).
+    # Run the model's dense tower after the embedding stage (on the host
+    # NN worker pool, as in the inference pipeline).
     dense_stage: bool = True
     # Numerically compute model outputs (costs host wall-clock, not
     # simulated time; enable for correctness checks).
@@ -67,6 +68,21 @@ class ServingConfig:
     # QoS admission policy (deadline-aware early drop, per-model quotas,
     # priority lanes).  None keeps the seed's reject-at-limit behaviour.
     admission: Optional[AdmissionConfig] = None
+    # Host resource model (repro.serving.hostpool).  host_sls_workers
+    # bounds concurrent per-table SLS ops (DRAM gathers, NDP host
+    # split/merge) on a shared host worker pool; None (default) keeps
+    # the seed's infinite overlap bit-identically.  dense_workers sizes
+    # the dense-stage NN worker pool: None (default) keeps the legacy
+    # single serialized host NN timeline bit-identically, k >= 1 is a
+    # pool of k workers, 0 means unbounded (every dense job starts
+    # immediately — the "∞" point of host-contention sweeps).
+    host_sls_workers: Optional[int] = None
+    dense_workers: Optional[int] = None
+    # Dense service-time model: a global multiplier on each model's
+    # dense_time(), and optional per-sample overrides by model name
+    # (scaled linearly with batch size) for contention studies.
+    dense_time_scale: float = 1.0
+    dense_service_s_by_model: Optional[Dict[str, float]] = None
 
 
 class InferenceServer:
@@ -86,6 +102,18 @@ class InferenceServer:
         self.queue = RequestQueue(max_inflight, admission=self.admission)
         self.models: Dict[str, RecModel] = {}
         self.workers: Dict[str, List[ModelWorker]] = {}
+        # Host resource model: the bounded (or pass-through) host SLS
+        # worker pool the embedding stages run per-table ops on, and the
+        # dense-stage NN worker pool completions queue for.
+        self.hostpool = HostResourceModel(
+            self.sim,
+            self.stats,
+            system.host_cpu,
+            host_sls_workers=self.config.host_sls_workers,
+            dense_workers=self.config.dense_workers,
+            dense_time_scale=self.config.dense_time_scale,
+            dense_service_s_by_model=self.config.dense_service_s_by_model,
+        )
         self.scheduler = BatchScheduler(
             self.sim,
             self.queue,
@@ -99,14 +127,19 @@ class InferenceServer:
                 max_inflight_batches_total=(
                     self.config.max_inflight_batches_total
                 ),
+                host_sls_workers=self.config.host_sls_workers,
             ),
             on_batch_done=self._batch_done,
             on_expired=(
                 self._drop_if_expired if self.admission.deadline_drop else None
             ),
+            host_sls=self.hostpool.sls,
         )
+        if self.hostpool.sls.bounded:
+            # A freed SLS worker can unblock a gated dispatch before any
+            # batch completes; unbounded pools never gate, so no hook.
+            self.hostpool.sls.on_free = self.scheduler.pump
         self._next_request_id = 1
-        self._dense_busy_until = 0.0
         # Projected worst-case concurrent NDP entries per device, used to
         # validate registrations against the engine's buffer config.
         self._projected_ndp_entries: Dict[int, int] = {}
@@ -205,7 +238,11 @@ class InferenceServer:
                 partition_profiles=partition_profiles,
             )
             pool.append(
-                ModelWorker(model, EmbeddingStage(backends), device_index=index)
+                ModelWorker(
+                    model,
+                    EmbeddingStage(backends, sls_pool=self.hostpool.sls),
+                    device_index=index,
+                )
             )
         self._commit_ndp_projection(pending_entries)
         return pool
@@ -285,7 +322,9 @@ class InferenceServer:
             )
             backends_by_shard[shard] = backends
         self._commit_ndp_projection(pending_entries)
-        stage = ShardedEmbeddingStage(plan, backends_by_shard)
+        stage = ShardedEmbeddingStage(
+            plan, backends_by_shard, sls_pool=self.hostpool.sls
+        )
         return [ModelWorker(model, stage, device_index=-1)]
 
     def _device_for_shard(self, index: int):
@@ -461,21 +500,22 @@ class InferenceServer:
         return True
 
     def _batch_done(self, requests: List[InferenceRequest]) -> None:
-        """Embedding stage finished for a coalesced batch; run dense + complete."""
+        """Embedding stage finished for a coalesced batch; queue each
+        request's dense tower on the NN worker pool, then complete."""
         sim = self.sim
         for request in requests:
-            finish = sim.now
             model = self.models[request.model]
             if self.config.compute_outputs:
                 request.output = model.forward(request.batch.dense, request.values)
-            if self.config.dense_stage:
-                dense_time = model.dense_time(
-                    request.batch.batch_size, self.system.host_cpu
-                )
-                start = max(sim.now, self._dense_busy_until)
-                finish = start + dense_time
-                self._dense_busy_until = finish
-            sim.schedule_at(finish, lambda r=request: self._complete(r))
+            if not self.config.dense_stage:
+                sim.schedule_at(sim.now, lambda r=request: self._complete(r))
+                continue
+            start, _finish = self.hostpool.dense.submit(
+                model,
+                request.batch.batch_size,
+                lambda r=request: self._complete(r),
+            )
+            request.t_dense_start = start
 
     def _complete(self, request: InferenceRequest) -> None:
         request.state = RequestState.COMPLETE
@@ -484,6 +524,14 @@ class InferenceServer:
         self.stats.record_completion(request)
         if request.on_done is not None:
             request.on_done(request)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hostpool_summary(self) -> Dict[str, Dict[str, float]]:
+        """Host resource model report: per-pool capacity, occupancy,
+        wait and utilization (see :mod:`repro.serving.hostpool`)."""
+        return self.hostpool.summary()
 
     # ------------------------------------------------------------------
     # Driving

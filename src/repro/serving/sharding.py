@@ -425,17 +425,27 @@ class ShardedEmbeddingStage:
     ``backends_by_shard[s][table_name]`` is the backend serving table
     piece ``table_name`` on device ``s`` (shard tables for row-split
     placements, full tables for whole placements).
+
+    ``sls_pool`` (optional — the server's
+    :class:`~repro.serving.hostpool.HostSlsPool`) bounds the host SLS
+    workers: each per-shard per-table sub-op holds one worker from
+    launch to completion, and the host-side *merge* of the partial sums
+    must also win a worker (zero service time, queueing-only) before the
+    batch can finish — under heavy concurrency the scatter-gather
+    overlap is no longer free.  ``None`` keeps the legacy free overlap.
     """
 
     def __init__(
         self,
         plan: ShardPlan,
         backends_by_shard: Dict[int, Dict[str, SlsBackend]],
+        sls_pool=None,
     ):
         if not backends_by_shard or not any(backends_by_shard.values()):
             raise ValueError("need at least one shard backend")
         self.plan = plan
         self.backends_by_shard = backends_by_shard
+        self.sls_pool = sls_pool
         sims = {
             id(b.system.sim)
             for shard in backends_by_shard.values()
@@ -479,7 +489,7 @@ class ShardedEmbeddingStage:
         per_shard: Dict[int, Dict[str, SlsOpResult]] = {}
         pending = {"n": len(jobs)}
 
-        def finish() -> None:
+        def merge() -> None:
             values: Dict[str, np.ndarray] = {}
             per_table: Dict[str, SlsOpResult] = {}
             breakdown = Breakdown()
@@ -503,6 +513,20 @@ class ShardedEmbeddingStage:
                 )
             )
 
+        def finish() -> None:
+            # The host-side gather is host SLS work too: with a bounded
+            # pool it must win a worker (queueing-only, zero service
+            # time) before the partial sums merge and the batch finishes.
+            if self.sls_pool is None:
+                merge()
+                return
+
+            def pooled_merge() -> None:
+                self.sls_pool.release()
+                merge()
+
+            self.sls_pool.acquire(pooled_merge)
+
         if not jobs:
             self.sim.call_soon(finish)
             return
@@ -515,10 +539,22 @@ class ShardedEmbeddingStage:
 
         for shard, name, sub_bags in jobs:
             backend = self.backends_by_shard[shard][name]
-            backend.start(
-                sub_bags,
-                lambda result, _s=shard, _n=name: job_done(_s, _n, result),
-            )
+            if self.sls_pool is None:
+                backend.start(
+                    sub_bags,
+                    lambda result, _s=shard, _n=name: job_done(_s, _n, result),
+                )
+                continue
+
+            # One host SLS worker per sub-op, held launch-to-completion.
+            def launch(_s=shard, _n=name, _b=backend, _bags=sub_bags):
+                def op_done(result, _s=_s, _n=_n):
+                    self.sls_pool.release()
+                    job_done(_s, _n, result)
+
+                _b.start(_bags, op_done)
+
+            self.sls_pool.acquire(launch)
 
     def _merge_table(
         self, name: str, n_bags: int, pieces: List[Tuple[int, SlsOpResult]]

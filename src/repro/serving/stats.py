@@ -22,7 +22,14 @@ from typing import Dict, List, Optional
 from ..sim.stats import Accumulator, rank_quantile, summarize_latencies
 from .request import InferenceRequest
 
-__all__ = ["ServingStats"]
+__all__ = ["ServingStats", "mean_ms"]
+
+
+def mean_ms(values_s: List[float]) -> float:
+    """Mean of a list of seconds, in milliseconds (0.0 when empty) — the
+    one definition both ``ServingStats.summary`` and
+    ``HostResourceModel.summary`` report wait times with."""
+    return sum(values_s) / len(values_s) * 1e3 if values_s else 0.0
 
 
 class ServingStats:
@@ -84,6 +91,22 @@ class ServingStats:
         self.shard_sub_ops: Dict[str, Dict[int, int]] = {}
         self.shard_lookups: Dict[str, Dict[int, float]] = {}
         self.shard_busy_s: Dict[str, Dict[int, float]] = {}
+        # Host resource model gauges (repro.serving.hostpool): the SLS
+        # worker pool driving per-table gathers / NDP split-merge, and
+        # the dense-stage NN worker pool.  Wait lists are per granted
+        # acquisition / per dense job; busy seconds are worker-seconds
+        # held (SLS) or summed service time (dense).  Peaks rebuild from
+        # the next grant after a mid-flight reset, mirroring the
+        # ``max_inflight`` window semantics.
+        self.sls_ops = 0
+        self.sls_wait_s: List[float] = []
+        self.sls_busy_s = 0.0
+        self.sls_peak_in_use = 0
+        self.sls_peak_queue = 0
+        self.dense_jobs = 0
+        self.dense_wait_s: List[float] = []
+        self.dense_wait_s_by_model: Dict[str, List[float]] = {}
+        self.dense_busy_s = 0.0
 
     # PR 2's unified stats contract: every component with counters
     # exposes ``reset_stats()``; for ServingStats it is the same window
@@ -146,6 +169,30 @@ class ServingStats:
             per_model = store.setdefault(model, {})
             per_model[shard] = per_model.get(shard, 0) + value
 
+    # -- host resource model (repro.serving.hostpool) ------------------
+    def record_sls_grant(self, wait_s: float, in_use: int) -> None:
+        """A host SLS worker was granted after ``wait_s`` of queueing."""
+        self.sls_ops += 1
+        self.sls_wait_s.append(wait_s)
+        if in_use > self.sls_peak_in_use:
+            self.sls_peak_in_use = in_use
+
+    def record_sls_release(self, held_s: float) -> None:
+        self.sls_busy_s += held_s
+
+    def record_sls_queue_depth(self, depth: int) -> None:
+        if depth > self.sls_peak_queue:
+            self.sls_peak_queue = depth
+
+    def record_dense_job(
+        self, model: str, wait_s: float, service_s: float
+    ) -> None:
+        """One dense-stage job started after ``wait_s`` in the pool queue."""
+        self.dense_jobs += 1
+        self.dense_wait_s.append(wait_s)
+        self.dense_wait_s_by_model.setdefault(model, []).append(wait_s)
+        self.dense_busy_s += service_s
+
     def record_completion(self, request: InferenceRequest) -> None:
         self.completed += 1
         self.inflight -= 1
@@ -176,13 +223,18 @@ class ServingStats:
         """Exact latency quantile in seconds (the repo's shared rank rule)."""
         return rank_quantile(sorted(self.latencies), q)
 
-    def _busy_span(self) -> float:
+    def busy_span(self) -> float:
+        """First arrival to last completion (the throughput/utilization
+        window); 0.0 before any arrival."""
         if self.first_arrival is None:
             return 0.0
         last = (
             self.last_completion if self.last_completion is not None else self.sim.now
         )
         return last - self.first_arrival
+
+    # Backwards-compatible private alias (pre-hostpool name).
+    _busy_span = busy_span
 
     def throughput_rps(self) -> float:
         """Completed requests per simulated second over the busy interval."""
@@ -223,13 +275,13 @@ class ServingStats:
             "p95_ms": lat["p95_ms"],
             "p99_ms": lat["p99_ms"],
             "max_ms": lat["max_ms"],
-            "mean_queue_delay_ms": (
-                sum(self.queue_delays) / len(self.queue_delays) * 1e3
-                if self.queue_delays
-                else 0.0
-            ),
+            "mean_queue_delay_ms": mean_ms(self.queue_delays),
             "max_inflight": float(self.max_inflight),
             "mean_batch_requests": self.requests_per_batch.mean,
+            # Host resource model: time spent waiting for a dense NN
+            # worker / a host SLS worker (0.0 with unbounded pools).
+            "mean_dense_wait_ms": mean_ms(self.dense_wait_s),
+            "mean_sls_wait_ms": mean_ms(self.sls_wait_s),
         }
 
     def lane_summary(self) -> Dict[str, Dict[str, float]]:

@@ -172,6 +172,12 @@ class ScenarioSpec:
     max_inflight_batches_per_worker: int = 2
     max_inflight_batches_total: Optional[int] = None
     dense_stage: bool = True
+    # Host resource model (repro.serving.hostpool): bounded host SLS /
+    # dense NN worker pools.  Defaults keep the seed's behaviour
+    # bit-identically; dense_workers=0 means unbounded ("∞" sweeps).
+    host_sls_workers: Optional[int] = None
+    dense_workers: Optional[int] = None
+    dense_time_scale: float = 1.0
     deadline_drop: bool = False
     drop_headroom_s: float = 0.0
     seed: int = 0
@@ -212,6 +218,9 @@ class ScenarioSpec:
             max_inflight_batches_total=self.max_inflight_batches_total,
             dense_stage=self.dense_stage,
             admission=self.admission_config(),
+            host_sls_workers=self.host_sls_workers,
+            dense_workers=self.dense_workers,
+            dense_time_scale=self.dense_time_scale,
         )
 
     @property

@@ -1,0 +1,30 @@
+"""Regenerate ``serving_golden.json`` from the current implementation.
+
+Run this ONLY on a commit whose serving path is trusted (the baseline
+was first recorded on the hostpool PR's default, legacy-bit-identical
+configuration):
+
+    PYTHONPATH=src python -m tests.golden.generate_serving_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .serving_scenarios import SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent / "serving_golden.json"
+
+
+def main() -> None:
+    golden = {}
+    for name, fn in SCENARIOS.items():
+        print(f"recording {name} ...")
+        golden[name] = fn()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
