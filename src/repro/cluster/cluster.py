@@ -1,0 +1,240 @@
+"""The cluster front-end: N inference hosts, one kernel, one router.
+
+A :class:`Cluster` is a fleet of :class:`~repro.serving.InferenceServer`
+hosts — each with its own SSDs, caches, sharding plan and host resource
+pools — sharing one :class:`~repro.sim.kernel.Simulator` behind a
+front-end :class:`~repro.cluster.router.Router`.  It duck-types the
+single-server surface the workload layer drives (``.sim``, ``.models``,
+``.submit(model, batch, on_done=...)``, ``.stats.settled``), so every
+generator, scenario and trace in :mod:`repro.workload` runs against a
+fleet unchanged.
+
+Placement and replication: :meth:`register_model` places a model on a
+subset of hosts (default: all).  The first placed host registers the
+*original* :class:`~repro.models.base.RecModel`; every other host gets a
+:func:`replica_model` clone whose tables share the original's data
+arrays — the same sharing contract as a single server's replicated
+workers, so results are identical wherever a request lands, and a
+1-host cluster is bit-identical to the standalone server (the oracle
+regression in ``tests/cluster/test_cluster_oracle.py``).  Placing a hot
+model on extra hosts is the table-replication knob; read *spreading*
+within a placement is the router's job
+(:class:`~repro.cluster.router.ConsistentHashRouter` ``spread``).
+
+The submit path adds **zero** simulator events and **zero** RNG draws:
+routing is a synchronous table lookup, then the chosen host's own
+``submit`` runs as if called directly.  When no placed host is routable
+(all draining/down), the request terminates at the router as REJECTED
+with reason :data:`REASON_NO_HOST`, counted by
+:class:`~repro.cluster.stats.ClusterStats` — it never consumed a host
+admission slot, so per-host invariants are untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+from ..embedding.table import EmbeddingTable
+from ..models.base import Batch, RecModel
+from ..models.runner import BackendKind, RunnerConfig
+from ..serving.request import InferenceRequest, RequestState
+from ..serving.server import InferenceServer
+from .node import ClusterNode
+from .router import Router
+from .stats import ClusterStats
+
+__all__ = ["REASON_NO_HOST", "replica_model", "Cluster"]
+
+# Router-level rejection reason: no routable host for the model.
+REASON_NO_HOST = "no_host"
+
+
+def replica_model(model: RecModel) -> RecModel:
+    """A shallow clone of ``model`` whose tables share the original's
+    data arrays.
+
+    Each host registers its own :class:`RecModel` instance (a server
+    refuses duplicate registrations, and per-host backends are built
+    from the instance's tables), but the *values* must match across the
+    fleet — same contract as a single server's replicated workers, which
+    share the primary tables' data the same way.
+    """
+    clone = copy.copy(model)
+    clone.tables = {
+        f.name: EmbeddingTable(f.spec, data=model.tables[f.name].data)
+        for f in model.features
+    }
+    return clone
+
+
+class Cluster:
+    """A routed fleet of inference hosts on one shared sim kernel."""
+
+    def __init__(self, nodes: Sequence[InferenceServer], router: Router):
+        if not nodes:
+            raise ValueError("cluster needs at least one host")
+        sims = {id(server.sim) for server in nodes}
+        if len(sims) != 1:
+            raise ValueError("all cluster hosts must share one sim kernel")
+        names = [server.name for server in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"host names must be unique, got {names}")
+        self.sim = nodes[0].sim
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(server) for server in nodes
+        ]
+        self.router = router
+        self.stats = ClusterStats(self.sim, self.nodes)
+        self.models: Dict[str, RecModel] = {}
+        # model -> the ClusterNodes it is placed on (placement order).
+        self.placement: Dict[str, List[ClusterNode]] = {}
+        # Routing key for anonymous batches (no user_id): a fleet-wide
+        # submission sequence number, so hash routing still spreads them.
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    # Hosts
+    # ------------------------------------------------------------------
+    def node(self, host: str) -> ClusterNode:
+        for candidate in self.nodes:
+            if candidate.name == host:
+                return candidate
+        raise KeyError(
+            f"no host {host!r} (have {[n.name for n in self.nodes]})"
+        )
+
+    def drain(self, host: str) -> None:
+        """Take ``host`` out of the rotation; admitted work finishes."""
+        self.node(host).drain()
+
+    def fail(self, host: str) -> int:
+        """Fail-stop ``host``; returns how many queued requests it shed
+        (each DROPPED with reason ``host_down``)."""
+        return self.node(host).fail()
+
+    def restore(self, host: str) -> None:
+        self.node(host).restore()
+
+    # ------------------------------------------------------------------
+    # Model placement
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        model: RecModel,
+        kind: BackendKind,
+        runner_config: Optional[RunnerConfig] = None,
+        num_workers: int = 1,
+        sharding=None,
+        hosts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Place ``model`` on ``hosts`` (indices; default all).
+
+        Per host this is exactly a standalone ``register_model`` — its
+        own workers/devices/sharding plan — with the first placed host
+        holding the original model and the rest :func:`replica_model`
+        clones sharing its table data.  Placing a hot model on more
+        hosts is the replication knob the router's read spreading then
+        exploits.
+        """
+        if model.name in self.models:
+            raise ValueError(f"model {model.name!r} already registered")
+        indices = list(range(len(self.nodes))) if hosts is None else list(hosts)
+        if not indices:
+            raise ValueError(f"model {model.name!r} placed on no hosts")
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate placement for {model.name!r}")
+        for index in indices:
+            if not 0 <= index < len(self.nodes):
+                raise ValueError(
+                    f"placement host {index} out of range for "
+                    f"{len(self.nodes)} hosts"
+                )
+        placed: List[ClusterNode] = []
+        for order, index in enumerate(indices):
+            node = self.nodes[index]
+            instance = model if order == 0 else replica_model(model)
+            node.server.register_model(
+                instance,
+                kind,
+                runner_config=runner_config,
+                num_workers=num_workers,
+                sharding=sharding,
+            )
+            placed.append(node)
+        self.models[model.name] = model
+        self.placement[model.name] = placed
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        batch: Batch,
+        on_done=None,
+        deadline: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Route one request to a host and submit it there.
+
+        Synchronous and side-effect-free beyond the chosen host's own
+        ``submit`` (no extra sim events, no RNG): a 1-host cluster is
+        bit-identical to calling the server directly.  The routing key
+        is ``batch.user_id`` when present (locality-aware policies hash
+        it), else a fleet-wide submission counter.
+        """
+        nodes = self.placement.get(model_name)
+        if nodes is None:
+            raise KeyError(f"model {model_name!r} not registered")
+        if batch.user_id is not None:
+            key = batch.user_id
+        else:
+            key = self._next_key
+            self._next_key += 1
+        if not any(node.routable for node in nodes):
+            # Terminates at the router: REJECTED without touching any
+            # host, accounted fleet-side so conservation still holds.
+            request = InferenceRequest(
+                model=model_name,
+                batch=batch,
+                request_id=-1,
+                t_arrival=self.sim.now,
+                user_id=batch.user_id,
+                on_done=on_done,
+            )
+            request.state = RequestState.REJECTED
+            request.drop_reason = REASON_NO_HOST
+            request.t_done = self.sim.now
+            self.stats.record_router_reject(request)
+            if request.on_done is not None:
+                request.on_done(request)
+            return request
+        node = self.router.route(key, model_name, nodes)
+        return node.server.submit(
+            model_name, batch, on_done=on_done, deadline=deadline
+        )
+
+    # ------------------------------------------------------------------
+    # Driving / stats
+    # ------------------------------------------------------------------
+    def run_until_settled(self, limit: float = float("inf")) -> float:
+        """Advance the shared kernel until no host has admitted work in
+        flight."""
+        return self.sim.run_until(
+            lambda: all(n.server.queue.inflight == 0 for n in self.nodes),
+            limit,
+        )
+
+    def reset_stats(self) -> None:
+        """One reset for the whole fleet: every host's window, the
+        router's counters and the cluster-level gauges."""
+        for node in self.nodes:
+            node.server.stats.reset_stats()
+        self.router.reset_stats()
+        self.stats.reset_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(hosts={[n.name for n in self.nodes]}, "
+            f"router={self.router!r}, models={sorted(self.models)})"
+        )

@@ -1,0 +1,90 @@
+"""One addressable host in a serving fleet.
+
+A :class:`ClusterNode` wraps one :class:`~repro.serving.InferenceServer`
+(its own SSDs, caches, sharding plan and host pools, sharing the fleet's
+sim kernel) with the routing-facing state the front-end needs: a stable
+name, a lifecycle state (UP / DRAINING / DOWN) and cheap load gauges.
+
+Lifecycle semantics (driven by :class:`~repro.cluster.cluster.Cluster`
+or scheduled from a :class:`~repro.cluster.scenario.HostEvent`):
+
+* **UP** — routable; the steady state.
+* **DRAINING** — excluded from routing; everything already admitted
+  (queued *and* dispatched) runs to completion.  The graceful restart /
+  maintenance shape: no request is lost, the host just stops taking new
+  traffic until :meth:`restore`.
+* **DOWN** — excluded from routing *and* the queued (undispatched)
+  backlog is shed as DROPPED (reason ``host_down``) via
+  :meth:`~repro.serving.InferenceServer.shed_queued`.  Batches already
+  on the devices complete (their simulated work is in flight); the
+  fleet-wide ``submitted == completed + rejected + dropped + inflight``
+  invariant survives the failure.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..serving.server import InferenceServer
+
+__all__ = ["NodeState", "ClusterNode"]
+
+
+class NodeState(Enum):
+    UP = "up"
+    DRAINING = "draining"
+    DOWN = "down"
+
+
+class ClusterNode:
+    """An :class:`InferenceServer` as the router sees it."""
+
+    def __init__(self, server: InferenceServer):
+        self.server = server
+        self.state = NodeState.UP
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    @property
+    def routable(self) -> bool:
+        """Eligible for new traffic right now."""
+        return self.state is NodeState.UP
+
+    @property
+    def inflight(self) -> int:
+        """Admitted and not yet completed (queued + dispatched)."""
+        return self.server.queue.inflight
+
+    @property
+    def queued(self) -> int:
+        """Waiting for dispatch (the shallower load signal)."""
+        return self.server.queue.queued
+
+    @property
+    def stats(self):
+        return self.server.stats
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop routing here; let admitted work finish."""
+        self.state = NodeState.DRAINING
+
+    def fail(self) -> int:
+        """Fail-stop: unroutable plus the queued backlog is shed.
+
+        Returns how many queued requests were dropped."""
+        self.state = NodeState.DOWN
+        return self.server.shed_queued(reason="host_down")
+
+    def restore(self) -> None:
+        """Back in the rotation (after a drain or a repaired failure)."""
+        self.state = NodeState.UP
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterNode({self.name}, {self.state.value}, "
+            f"inflight={self.inflight})"
+        )

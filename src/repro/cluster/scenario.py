@@ -1,0 +1,313 @@
+"""Declarative fleet experiments: a scenario × hosts × router × events.
+
+A :class:`ClusterSpec` wraps one single-host
+:class:`~repro.workload.scenario.ScenarioSpec` (tenants, server knobs,
+QoS, seed — every host is configured identically from it) and adds the
+fleet dimensions: host count, router policy, per-model placement,
+user-keyed traffic (:class:`UserSpec`) and a timeline of
+:class:`HostEvent` drain/fail/restore actions.
+:func:`run_cluster_scenario` builds the fleet on one shared kernel,
+drives the same generators the standalone runner would, and returns a
+:class:`ClusterResult` with fleet, per-host and per-lane numbers.
+
+The oracle contract (``tests/cluster/test_cluster_oracle.py``): with
+``n_hosts=1``, ``router="round_robin"``, no users and no events, this
+runner reproduces :func:`~repro.workload.scenario.run_scenario`
+**bit-identically** — same per-host systems (one), same generator
+seeds, same RNG draw order, zero extra sim events on the submit path —
+so the whole cluster tier is a conservative extension of the
+single-host stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.engine import NdpEngineConfig
+from ..host.system import build_system
+from ..models.base import RecModel
+from ..models.runner import required_capacity_pages
+from ..serving.server import InferenceServer
+from ..sim.kernel import Simulator
+from ..workload.generators import LoadGenerator, run_workload
+from ..workload.scenario import ScenarioSpec, TenantSpec
+from .cluster import Cluster
+from .router import make_router
+from .stats import ClusterStats
+from .users import (
+    UserClosedLoopGenerator,
+    UserOpenLoopGenerator,
+    UserPopulation,
+)
+
+__all__ = [
+    "UserSpec",
+    "HostEvent",
+    "ClusterSpec",
+    "ClusterResult",
+    "build_cluster",
+    "run_cluster_scenario",
+]
+
+_ACTIONS = ("drain", "fail", "restore")
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """User-keyed traffic for the whole fleet (see
+    :class:`~repro.cluster.users.UserPopulation`).  When set, every
+    tenant's generator draws Zipf-popular users whose ids key the
+    router; tenant ``locality_k``/``zipf_alpha`` samplers are replaced
+    by the users' deterministic row profiles."""
+
+    n_users: int
+    alpha: float = 1.05
+    reuse: float = 1.0
+    seed: int = 0
+
+    def population(self) -> UserPopulation:
+        return UserPopulation(
+            self.n_users, alpha=self.alpha, seed=self.seed, reuse=self.reuse
+        )
+
+
+@dataclass(frozen=True)
+class HostEvent:
+    """One lifecycle action at an absolute simulated time.
+
+    ``drain`` = graceful (admitted work finishes, no losses); ``fail`` =
+    fail-stop (queued backlog shed as DROPPED ``host_down``);
+    ``restore`` = back in the rotation.
+    """
+
+    t: float
+    host: str
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be >= 0")
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown host action {self.action!r} (use {_ACTIONS})"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A whole fleet experiment as data.
+
+    ``scenario`` configures every host identically (admission, batching,
+    host pools, backend) and carries the tenants and seed.  ``placement``
+    maps model names to host-index tuples (models absent from it go on
+    every host) — placing a hot model on more hosts is the replication
+    knob.  ``embcache_slots`` sizes the per-device NDP embedding cache
+    (0 = off, the standalone default) — the cache whose hit rate
+    locality-aware routing is measured on.
+    """
+
+    name: str
+    scenario: ScenarioSpec
+    n_hosts: int = 2
+    router: str = "round_robin"          # round_robin | least_loaded | consistent_hash
+    least_loaded_by: str = "inflight"
+    router_vnodes: int = 64
+    router_spread: int = 1
+    placement: Optional[Mapping[str, Tuple[int, ...]]] = None
+    users: Optional[UserSpec] = None
+    host_events: Tuple[HostEvent, ...] = ()
+    num_workers: int = 1
+    embcache_slots: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        make_router(self.router)  # ValueError early for unknown policies
+        hosts = {f"host{i}" for i in range(self.n_hosts)}
+        for event in self.host_events:
+            if event.host not in hosts:
+                raise ValueError(
+                    f"event targets unknown host {event.host!r} "
+                    f"(fleet has {self.n_hosts} hosts)"
+                )
+        tenants = {t.model for t in self.scenario.tenants}
+        for model, indices in (self.placement or {}).items():
+            if model not in tenants:
+                raise ValueError(f"placement names unknown model {model!r}")
+            if not indices:
+                raise ValueError(f"model {model!r} placed on no hosts")
+            for index in indices:
+                if not 0 <= index < self.n_hosts:
+                    raise ValueError(
+                        f"placement host {index} out of range for "
+                        f"{self.n_hosts} hosts"
+                    )
+
+    def make_router(self):
+        return make_router(
+            self.router,
+            least_loaded_by=self.least_loaded_by,
+            hash_vnodes=self.router_vnodes,
+            hash_spread=self.router_spread,
+        )
+
+
+@dataclass
+class ClusterResult:
+    """One fleet run: the cluster it built and what happened."""
+
+    spec: ClusterSpec
+    cluster: Cluster
+    stats: ClusterStats
+    summary: Dict[str, float]
+    per_host: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    lanes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def host(self, name: str) -> Dict[str, float]:
+        return self.per_host[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterResult({self.spec.name}, hosts={self.spec.n_hosts}, "
+            f"router={self.spec.router}, "
+            f"completed={self.summary['completed']:.0f}, "
+            f"p99={self.summary['p99_ms']:.2f}ms)"
+        )
+
+
+def build_cluster(
+    spec: ClusterSpec,
+    models: Union[Sequence[RecModel], Mapping[str, RecModel]],
+    sim: Optional[Simulator] = None,
+) -> Cluster:
+    """Construct the fleet a :class:`ClusterSpec` describes.
+
+    Every host gets its own system (same sizing rule as the standalone
+    runner: the largest placed model, NDP backpressure on) on one shared
+    kernel, and registers the scenario's models per the placement map —
+    original instance on the first placed host, data-sharing replicas
+    elsewhere.
+    """
+    scenario = spec.scenario
+    by_name = (
+        dict(models)
+        if isinstance(models, Mapping)
+        else {model.name: model for model in models}
+    )
+    missing = [t.model for t in scenario.tenants if t.model not in by_name]
+    if missing:
+        raise KeyError(f"cluster {spec.name!r} names unknown models {missing}")
+    if sim is None:
+        sim = Simulator()
+    capacity = max(
+        required_capacity_pages(by_name[t.model]) for t in scenario.tenants
+    )
+    servers = [
+        InferenceServer(
+            build_system(
+                min_capacity_pages=capacity,
+                ndp=NdpEngineConfig(
+                    queue_when_full=True, embcache_slots=spec.embcache_slots
+                ),
+                sim=sim,
+            ),
+            scenario.serving_config(),
+            name=f"host{index}",
+        )
+        for index in range(spec.n_hosts)
+    ]
+    cluster = Cluster(servers, spec.make_router())
+    placement = spec.placement or {}
+    for tenant in scenario.tenants:
+        cluster.register_model(
+            by_name[tenant.model],
+            scenario.backend_kind,
+            num_workers=spec.num_workers,
+            hosts=placement.get(tenant.model),
+        )
+    return cluster
+
+
+def _generators(
+    spec: ClusterSpec,
+    by_name: Mapping[str, RecModel],
+) -> List[LoadGenerator]:
+    scenario = spec.scenario
+    if spec.users is None:
+        # Bit-identical to run_scenario's generator construction.
+        return [
+            tenant.to_generator(by_name[tenant.model], seed=scenario.seed + 101 * i)
+            for i, tenant in enumerate(scenario.tenants)
+        ]
+    population = spec.users.population()
+    generators: List[LoadGenerator] = []
+    for tenant in scenario.tenants:
+        generators.append(_user_generator(tenant, population))
+    return generators
+
+
+def _user_generator(
+    tenant: TenantSpec, population: UserPopulation
+) -> LoadGenerator:
+    if tenant.arrival == "open":
+        return UserOpenLoopGenerator(
+            tenant.model,
+            population,
+            rate=tenant.rate,
+            n_requests=tenant.n_requests,
+            batch_size=tenant.batch_size,
+        )
+    if tenant.arrival == "closed":
+        return UserClosedLoopGenerator(
+            tenant.model,
+            population,
+            num_clients=tenant.num_clients,
+            requests_per_client=tenant.requests_per_client,
+            think_time_s=tenant.think_time_s,
+            batch_size=tenant.batch_size,
+        )
+    return UserOpenLoopGenerator(
+        tenant.model,
+        population,
+        batch_size=tenant.batch_size,
+        arrivals=tenant.trace.times,
+    )
+
+
+def run_cluster_scenario(
+    spec: ClusterSpec,
+    models: Union[Sequence[RecModel], Mapping[str, RecModel]],
+) -> ClusterResult:
+    """Build, run and summarize one fleet scenario end-to-end.
+
+    Host events are planted into the shared kernel before traffic starts
+    (they fire at their absolute times while the workload runs), then
+    the standard :func:`~repro.workload.generators.run_workload` loop
+    drives the cluster front-end exactly as it would a single server.
+    Deterministic for a fixed ``spec.scenario.seed``.
+    """
+    by_name = (
+        dict(models)
+        if isinstance(models, Mapping)
+        else {model.name: model for model in models}
+    )
+    cluster = build_cluster(spec, by_name)
+    for event in spec.host_events:
+        action = {
+            "drain": cluster.drain,
+            "fail": cluster.fail,
+            "restore": cluster.restore,
+        }[event.action]
+        cluster.sim.schedule_at(
+            event.t, lambda action=action, host=event.host: action(host)
+        )
+    stats = run_workload(cluster, _generators(spec, by_name), seed=spec.scenario.seed)
+    return ClusterResult(
+        spec=spec,
+        cluster=cluster,
+        stats=stats,
+        summary=stats.summary(),
+        per_host=stats.per_host_summary(),
+        lanes=stats.lane_summary(),
+    )

@@ -1,0 +1,249 @@
+"""Fleet-wide serving metrics: per-host stats rolled into cluster totals.
+
+:class:`ClusterStats` owns only what no single host can account for —
+router-level rejections, i.e. requests that never reached a host because
+no routable one existed (reason ``no_host``).  Everything else is
+aggregated **on read** from the per-host
+:class:`~repro.serving.stats.ServingStats` objects, so host and fleet
+views can never disagree: the fleet invariant
+
+::
+
+    submitted == completed + rejected + dropped + inflight
+
+holds by construction whenever every host's does (router rejections
+count as submitted-and-rejected, mirroring how a single server accounts
+admission rejects), and ``tests/cluster`` audits exactly that through
+drains and failures.
+
+Fleet percentiles are computed over the *merged* latency population —
+the number a fleet-wide SLO is written against — not an average of
+per-host percentiles, which would understate the tail of an imbalanced
+fleet.  The fleet cache hit rate is likewise lookup-weighted:
+``sum(hits) / sum(lookups)`` across hosts, the locality metric
+consistent-hash routing is judged on in ``benchmarks/bench_cluster.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..serving.request import InferenceRequest
+from ..serving.stats import mean_ms
+from ..sim.stats import rank_quantile, summarize_latencies
+from .node import ClusterNode
+
+__all__ = ["ClusterStats"]
+
+
+class ClusterStats:
+    """Cluster-level accounting over a fixed set of nodes.
+
+    Public attributes are resettable counters (the PR-5 stats contract:
+    ``reset_stats()`` makes the object indistinguishable from a fresh
+    one); ``sim`` and the underscore-prefixed node list are wiring, not
+    stats.
+    """
+
+    def __init__(self, sim, nodes: Sequence[ClusterNode]):
+        self.sim = sim
+        self._nodes = list(nodes)
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard the cluster-level window (router rejections).
+
+        Per-host windows are NOT touched here — the cluster front-end's
+        ``reset_stats`` cascades to hosts and router explicitly, so each
+        layer keeps the single-owner reset rule.
+        """
+        self.router_rejected = 0
+        self.rejects_by_reason: Dict[str, int] = {}
+
+    def reset_stats(self) -> None:
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Recording (called by the cluster front-end)
+    # ------------------------------------------------------------------
+    def record_router_reject(self, request: InferenceRequest) -> None:
+        """A submission found no routable host and terminated at the
+        router (it never consumed any host's admission slot)."""
+        self.router_rejected += 1
+        reason = request.drop_reason or "no_host"
+        self.rejects_by_reason[reason] = (
+            self.rejects_by_reason.get(reason, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet aggregates (computed from the per-host stats on read)
+    # ------------------------------------------------------------------
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(n.stats, attr) for n in self._nodes)
+
+    @property
+    def submitted(self) -> int:
+        return self._sum("submitted") + self.router_rejected
+
+    @property
+    def completed(self) -> int:
+        return self._sum("completed")
+
+    @property
+    def rejected(self) -> int:
+        return self._sum("rejected") + self.router_rejected
+
+    @property
+    def dropped(self) -> int:
+        return self._sum("dropped")
+
+    @property
+    def inflight(self) -> int:
+        return self._sum("inflight")
+
+    @property
+    def goodput(self) -> int:
+        return self._sum("goodput")
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._sum("deadline_misses")
+
+    @property
+    def settled(self) -> int:
+        """Terminal requests fleet-wide (the ``run_workload`` stop
+        predicate; router rejections settle instantly)."""
+        return self.completed + self.rejected + self.dropped
+
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """Every completed request's latency, fleet-wide (seconds)."""
+        merged: List[float] = []
+        for node in self._nodes:
+            merged.extend(node.stats.latencies)
+        return merged
+
+    def percentile(self, q: float) -> float:
+        """Exact fleet-wide latency quantile in seconds (merged
+        population, the repo's shared rank rule)."""
+        return rank_quantile(sorted(self.latencies()), q)
+
+    def total_lookups(self) -> float:
+        return sum(n.stats.total_lookups() for n in self._nodes)
+
+    def total_cache_hits(self) -> float:
+        return sum(n.stats.total_cache_hits() for n in self._nodes)
+
+    def cache_hit_rate(self) -> float:
+        """Lookup-weighted cache-served fraction across the fleet."""
+        lookups = self.total_lookups()
+        return self.total_cache_hits() / lookups if lookups > 0 else 0.0
+
+    def busy_span(self) -> float:
+        """Earliest host arrival to latest host completion; 0.0 before
+        any arrival anywhere."""
+        firsts = [
+            n.stats.first_arrival
+            for n in self._nodes
+            if n.stats.first_arrival is not None
+        ]
+        if not firsts:
+            return 0.0
+        lasts = [
+            n.stats.last_completion
+            for n in self._nodes
+            if n.stats.last_completion is not None
+        ]
+        last = max(lasts) if lasts else self.sim.now
+        return last - min(firsts)
+
+    def throughput_rps(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        span = self.busy_span()
+        return self.completed / span if span > 0 else 0.0
+
+    def goodput_rps(self) -> float:
+        if self.goodput == 0:
+            return 0.0
+        span = self.busy_span()
+        return self.goodput / span if span > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Fleet headline numbers — the same keys a single server's
+        :meth:`~repro.serving.stats.ServingStats.summary` reports (so
+        cluster and standalone results compare column-for-column), plus
+        fleet-only gauges."""
+        lat = summarize_latencies(self.latencies())
+        queue_delays: List[float] = []
+        for node in self._nodes:
+            queue_delays.extend(node.stats.queue_delays)
+        return {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "dropped": float(self.dropped),
+            "goodput": float(self.goodput),
+            "throughput_rps": self.throughput_rps(),
+            "goodput_rps": self.goodput_rps(),
+            "mean_ms": lat["mean_ms"],
+            "p50_ms": lat["p50_ms"],
+            "p95_ms": lat["p95_ms"],
+            "p99_ms": lat["p99_ms"],
+            "max_ms": lat["max_ms"],
+            "mean_queue_delay_ms": mean_ms(queue_delays),
+            # Fleet-only gauges.
+            "hosts": float(len(self._nodes)),
+            "router_rejected": float(self.router_rejected),
+            "cache_hit_rate": self.cache_hit_rate(),
+        }
+
+    def per_host_summary(self) -> Dict[str, Dict[str, float]]:
+        """Each host's own :meth:`ServingStats.summary`, keyed by host
+        name — the per-node view a fleet dashboard shows next to the
+        cluster totals."""
+        return {n.name: n.stats.summary() for n in self._nodes}
+
+    def lane_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-model terminal counts and tail latency, merged across
+        hosts (a model's lane spans every host it is placed on)."""
+        counts = (
+            "submitted",
+            "completed",
+            "rejected",
+            "dropped",
+            "goodput",
+        )
+        models: set = set()
+        for node in self._nodes:
+            models.update(node.stats.submitted_by_model)
+        out: Dict[str, Dict[str, float]] = {}
+        for model in sorted(models):
+            row: Dict[str, float] = {key: 0.0 for key in counts}
+            merged: List[float] = []
+            for node in self._nodes:
+                stats = node.stats
+                row["submitted"] += stats.submitted_by_model.get(model, 0)
+                row["completed"] += stats.completed_by_model.get(model, 0)
+                row["rejected"] += stats.rejected_by_model.get(model, 0)
+                row["dropped"] += stats.dropped_by_model.get(model, 0)
+                row["goodput"] += stats.goodput_by_model.get(model, 0)
+                merged.extend(stats.latencies_by_model.get(model, []))
+            merged.sort()
+            row["goodput_frac"] = (
+                row["goodput"] / row["submitted"] if row["submitted"] else 0.0
+            )
+            row["p50_ms"] = rank_quantile(merged, 0.50) * 1e3
+            row["p95_ms"] = rank_quantile(merged, 0.95) * 1e3
+            out[model] = row
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterStats(hosts={len(self._nodes)}, "
+            f"completed={self.completed}, inflight={self.inflight}, "
+            f"router_rejected={self.router_rejected})"
+        )

@@ -89,11 +89,16 @@ def build_system(
     page_cache_pages: int = 4096,
     ndp=None,
     system_config: Optional[SystemConfig] = None,
+    sim: Optional[Simulator] = None,
 ) -> System:
-    """Convenience factory: a Cosmos+-like device plus default host."""
+    """Convenience factory: a Cosmos+-like device plus default host.
+
+    ``sim`` shares an existing simulator — multiple systems on one kernel
+    is how :mod:`repro.cluster` runs N hosts in a single simulated fleet.
+    """
     ssd_config = cosmos_plus_config(
         min_capacity_pages=min_capacity_pages,
         page_cache_pages=page_cache_pages,
         ndp=ndp,
     )
-    return System(ssd_config, system_config)
+    return System(ssd_config, system_config, sim=sim)

@@ -43,6 +43,10 @@ class Batch:
     dense: np.ndarray                       # [B, dense_in] float32
     bags: Dict[str, List[np.ndarray]]       # table name -> per-result bags
     batch_size: int
+    # Originating user (None = anonymous).  Locality-aware routers
+    # (repro.cluster) key placement on it so repeat users land on hosts
+    # whose embedding caches already hold their rows.
+    user_id: Optional[int] = None
 
 
 def uniform_sampler(rows: int, rng: np.random.Generator) -> IndexSampler:

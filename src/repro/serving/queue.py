@@ -145,6 +145,23 @@ class RequestQueue:
             rotation.append(model)
         return out
 
+    def drain_queued(self) -> List[InferenceRequest]:
+        """Remove and return every queued (undispatched) request, lane by
+        lane in lane-creation order (deterministic).
+
+        The requests stay admitted — the caller owns their terminal
+        transition (drop + :meth:`release` per request), the way
+        :meth:`~repro.serving.server.InferenceServer.shed_queued` sheds a
+        failed cluster host's backlog.  Lanes and rotations end empty.
+        """
+        out: List[InferenceRequest] = []
+        for lane in self._lanes.values():
+            out.extend(lane)
+            lane.clear()
+        for rotation in self._rotations.values():
+            rotation.clear()
+        return out
+
     def release(self, model: Optional[str] = None) -> None:
         """Return one admission slot (a request completed or was dropped).
 

@@ -57,6 +57,9 @@ class InferenceRequest:
     deadline: float = float("inf")
     priority: int = 0
     drop_reason: Optional[str] = None
+    # Originating user (copied from the batch; None = anonymous) — the
+    # key locality-aware cluster routers hash on.
+    user_id: Optional[int] = None
     values: Dict[str, np.ndarray] = field(default_factory=dict)
     output: Optional[np.ndarray] = None
     on_done: Optional[Callable[["InferenceRequest"], None]] = None

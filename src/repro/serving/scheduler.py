@@ -238,6 +238,17 @@ class BatchScheduler:
         # A batch slot just freed; pull in whatever queued behind it.
         self.pump()
 
+    @staticmethod
+    def _op_cache_hits(stats: Dict[str, float]) -> float:
+        """Cache-served lookups of one SLS op, across every cache layer a
+        backend reports: host LRU (ssd), device emb-cache + host
+        partition (ndp).  Keys a backend does not report count as 0."""
+        return (
+            stats.get("cache_hits", 0.0)
+            + stats.get("emb_cache_hits", 0.0)
+            + stats.get("partition_hits", 0.0)
+        )
+
     def _record_shard_work(self, worker: ModelWorker, result: EmbStageResult) -> None:
         """Credit the batch's embedding work to the device(s) that ran it."""
         model = worker.model.name
@@ -252,6 +263,9 @@ class BatchScheduler:
                         max(r.end_time for r in pieces.values())
                         - min(r.start_time for r in pieces.values())
                     ),
+                    cache_hits=sum(
+                        self._op_cache_hits(r.stats) for r in pieces.values()
+                    ),
                 )
         else:
             self.stats.record_shard_work(
@@ -260,4 +274,8 @@ class BatchScheduler:
                 lookups=result.stat_total("lookups"),
                 sub_ops=len(result.per_table),
                 busy_s=result.latency,
+                cache_hits=sum(
+                    self._op_cache_hits(r.stats)
+                    for r in result.per_table.values()
+                ),
             )

@@ -88,7 +88,17 @@ class ServingConfig:
 class InferenceServer:
     """Serves concurrent inference requests for one or more registered models."""
 
-    def __init__(self, system: System, config: Optional[ServingConfig] = None):
+    def __init__(
+        self,
+        system: System,
+        config: Optional[ServingConfig] = None,
+        name: str = "host0",
+    ):
+        # ``name`` makes the server an addressable node: repro.cluster
+        # runs many servers (each with its own system/SSDs/caches) on one
+        # shared sim kernel behind front-end routers and keys per-host
+        # stats by this name.  Standalone use never needs it.
+        self.name = name
         self.system = system
         self.config = config or ServingConfig()
         self.sim = system.sim
@@ -457,6 +467,7 @@ class InferenceServer:
             t_arrival=self.sim.now,
             deadline=deadline,
             priority=self.admission.priority_for(model_name),
+            user_id=batch.user_id,
             on_done=on_done,
         )
         self._next_request_id += 1
@@ -524,6 +535,27 @@ class InferenceServer:
         self.stats.record_completion(request)
         if request.on_done is not None:
             request.on_done(request)
+
+    def shed_queued(self, reason: str = "host_down") -> int:
+        """Drop every queued (not yet dispatched) request, e.g. on a
+        cluster host failure.
+
+        Dispatched batches run to completion (their device work is
+        already in flight); only undispatched queue residents are shed,
+        each as a DROPPED terminal with ``reason``, keeping the
+        ``submitted == completed + rejected + dropped + inflight``
+        invariant intact.  Returns how many requests were shed.
+        """
+        shed = self.queue.drain_queued()
+        for request in shed:
+            request.state = RequestState.DROPPED
+            request.drop_reason = reason
+            request.t_done = self.sim.now
+            self.queue.release(request.model)
+            self.stats.record_drop(request)
+            if request.on_done is not None:
+                request.on_done(request)
+        return len(shed)
 
     # ------------------------------------------------------------------
     # Introspection

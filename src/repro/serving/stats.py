@@ -91,6 +91,11 @@ class ServingStats:
         self.shard_sub_ops: Dict[str, Dict[int, int]] = {}
         self.shard_lookups: Dict[str, Dict[int, float]] = {}
         self.shard_busy_s: Dict[str, Dict[int, float]] = {}
+        # Embedding-cache hits credited per shard: host LRU hits (SSD
+        # backend), device emb-cache + host partition hits (NDP backend).
+        # Together with shard_lookups this yields the served cache hit
+        # rate — the locality metric cluster routing is judged on.
+        self.shard_cache_hits: Dict[str, Dict[int, float]] = {}
         # Host resource model gauges (repro.serving.hostpool): the SLS
         # worker pool driving per-table gathers / NDP split-merge, and
         # the dense-stage NN worker pool.  Wait lists are per granted
@@ -152,19 +157,27 @@ class ServingStats:
         self.requests_per_batch.add(float(len(requests)))
 
     def record_shard_work(
-        self, model: str, shard: int, lookups: float, sub_ops: int, busy_s: float
+        self,
+        model: str,
+        shard: int,
+        lookups: float,
+        sub_ops: int,
+        busy_s: float,
+        cache_hits: float = 0.0,
     ) -> None:
         """Credit one coalesced batch's embedding work to one shard.
 
         ``sub_ops`` is the number of per-table SLS operations the shard
         ran for the batch; ``busy_s`` the simulated span from the
-        shard's first op start to its last op end.
+        shard's first op start to its last op end; ``cache_hits`` the
+        lookups the shard's embedding caches served without device work.
         """
         for store, value in (
             (self.shard_batches, 1),
             (self.shard_sub_ops, sub_ops),
             (self.shard_lookups, lookups),
             (self.shard_busy_s, busy_s),
+            (self.shard_cache_hits, cache_hits),
         ):
             per_model = store.setdefault(model, {})
             per_model[shard] = per_model.get(shard, 0) + value
@@ -218,6 +231,26 @@ class ServingStats:
         """Requests that reached a terminal state (complete, rejected or
         dropped)."""
         return self.completed + self.rejected + self.dropped
+
+    def total_lookups(self) -> float:
+        """Embedding lookups served across all models and shards."""
+        return sum(
+            sum(per_shard.values()) for per_shard in self.shard_lookups.values()
+        )
+
+    def total_cache_hits(self) -> float:
+        """Lookups the embedding caches absorbed (host LRU, device
+        emb-cache, NDP partition) across all models and shards."""
+        return sum(
+            sum(per_shard.values())
+            for per_shard in self.shard_cache_hits.values()
+        )
+
+    def cache_hit_rate(self) -> float:
+        """Cache-served fraction of all embedding lookups (0.0 when no
+        lookups were dispatched or no cache is configured)."""
+        lookups = self.total_lookups()
+        return self.total_cache_hits() / lookups if lookups > 0 else 0.0
 
     def percentile(self, q: float) -> float:
         """Exact latency quantile in seconds (the repo's shared rank rule)."""
@@ -323,6 +356,9 @@ class ServingStats:
                     "sub_ops": float(self.shard_sub_ops[model][shard]),
                     "lookups": float(self.shard_lookups[model][shard]),
                     "busy_s": float(self.shard_busy_s[model][shard]),
+                    "cache_hits": float(
+                        self.shard_cache_hits.get(model, {}).get(shard, 0.0)
+                    ),
                 }
         return out
 

@@ -83,6 +83,16 @@ class LoadGenerator(ABC):
         model = server.models[self.model]  # KeyError for unknown models
         return model.sample_batch(rng, self.batch_size, samplers=self.samplers)
 
+    def _submit(self, server, batch, on_done=None):
+        """Submission indirection every generator funnels through.
+
+        A pure pass-through here (bit-identical to calling
+        ``server.submit`` inline); cluster-aware generators
+        (:mod:`repro.cluster.users`) override it together with
+        ``_sample`` to attach user identity for locality-aware routing.
+        """
+        return server.submit(self.model, batch, on_done=on_done)
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}({self.model}, "
@@ -144,7 +154,7 @@ class OpenLoopGenerator(LoadGenerator):
             for t in times:
                 batch = self._sample(server, rng)
                 sim.schedule_at(
-                    float(t), lambda b=batch: server.submit(self.model, b)
+                    float(t), lambda b=batch: self._submit(server, b)
                 )
             return
         if self.process == "poisson":
@@ -158,7 +168,7 @@ class OpenLoopGenerator(LoadGenerator):
             arrival += float(gap)
             batch = self._sample(server, rng)
             sim.schedule_at(
-                arrival, lambda b=batch: server.submit(self.model, b)
+                arrival, lambda b=batch: self._submit(server, b)
             )
 
 
@@ -256,7 +266,7 @@ class ClosedLoopGenerator(LoadGenerator):
                 lambda: self._client_turn(server, rng, remaining - 1),
             )
 
-        server.submit(self.model, batch, on_done=done)
+        self._submit(server, batch, on_done=done)
 
 
 def run_workload(

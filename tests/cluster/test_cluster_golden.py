@@ -1,0 +1,47 @@
+"""Cluster refactors must not silently shift who serves what.
+
+``cluster_golden.json`` pins the same fixed-seed, user-keyed, drain-
+interrupted 2-host fleet run under each router policy.  Replaying must
+reproduce every recorded number exactly — fleet summary, per-host
+splits, route counts, consistent-hash displacement gauges and drop
+reasons.  A legitimate routing/serving change regenerates the file
+(``python -m tests.golden.generate_cluster_golden``) in the same PR that
+explains why the distribution moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from ..golden.cluster_scenarios import SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "cluster_golden.json"
+
+
+def _assert_matches(path: str, expected, actual) -> None:
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: type mismatch"
+        assert sorted(expected) == sorted(actual), f"{path}: key mismatch"
+        for key in expected:
+            _assert_matches(f"{path}.{key}", expected[key], actual[key])
+        return
+    if isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: length mismatch"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_matches(f"{path}[{i}]", e, a)
+        return
+    assert expected == actual, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_cluster_scenario_matches_golden(name, golden):
+    assert name in golden, f"regenerate golden file (missing {name})"
+    _assert_matches(name, golden[name], SCENARIOS[name]())

@@ -1,0 +1,130 @@
+"""Fixed-seed 2-host cluster scenarios with fully recorded outcomes.
+
+``cluster_golden.json`` pins one fleet run per router policy — the same
+user-keyed, drain-interrupted scenario routed round-robin, least-loaded
+and consistent-hash — so routing refactors cannot silently shift who
+serves what: fleet summary, per-host splits, route counts and the
+consistent-hash displacement gauges are all compared exactly (every
+recorded number is deterministic simulated arithmetic; the hash ring is
+PYTHONHASHSEED-independent by construction).
+
+Regenerate (ONLY on a commit whose cluster path is trusted) with:
+
+    PYTHONPATH=src python -m tests.golden.generate_cluster_golden
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster import ClusterSpec, HostEvent, UserSpec, run_cluster_scenario
+from repro.workload import ScenarioSpec, TenantSpec
+
+from ..serving.conftest import toy_model
+
+__all__ = ["SCENARIOS"]
+
+SUMMARY_KEYS = (
+    "submitted",
+    "completed",
+    "rejected",
+    "dropped",
+    "goodput",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "mean_ms",
+    "max_ms",
+    "throughput_rps",
+    "goodput_rps",
+    "mean_queue_delay_ms",
+    "hosts",
+    "router_rejected",
+    "cache_hit_rate",
+)
+
+HOST_KEYS = ("submitted", "completed", "dropped", "p50_ms", "p95_ms")
+
+
+def _base_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="golden-cluster",
+        tenants=(
+            TenantSpec(
+                model="toy",
+                arrival="open",
+                rate=3000.0,
+                n_requests=48,
+                batch_size=2,
+                slo_s=0.05,
+            ),
+        ),
+        backend="ndp",
+        max_batch_requests=4,
+        seed=29,
+    )
+
+
+def _cluster_spec(router: str) -> ClusterSpec:
+    """The one scenario all three goldens share: user-keyed traffic on 2
+    hosts with a mid-run drain+restore, so policies diverge on locality
+    AND the drain redistribution path is pinned."""
+    return ClusterSpec(
+        name=f"golden-{router}",
+        scenario=_base_scenario(),
+        n_hosts=2,
+        router=router,
+        router_spread=1,
+        users=UserSpec(n_users=48, alpha=1.1, seed=7),
+        embcache_slots=256,
+        host_events=(
+            HostEvent(t=0.004, host="host1", action="drain"),
+            HostEvent(t=0.009, host="host1", action="restore"),
+        ),
+    )
+
+
+def _record(result) -> Dict[str, Any]:
+    router = result.cluster.router
+    record: Dict[str, Any] = {
+        "summary": {key: result.summary[key] for key in SUMMARY_KEYS},
+        "per_host": {
+            name: {key: host[key] for key in HOST_KEYS}
+            for name, host in result.per_host.items()
+        },
+        "lanes": result.lanes,
+        "routes_by_host": dict(sorted(router.routes_by_host.items())),
+        "rejects_by_reason": dict(result.stats.rejects_by_reason),
+        "drops_by_reason": {
+            node.name: dict(node.stats.drops_by_reason)
+            for node in result.cluster.nodes
+            if node.stats.drops_by_reason
+        },
+    }
+    if hasattr(router, "routes_rerouted"):
+        record["routes_rerouted"] = router.routes_rerouted
+        record["routes_spread"] = router.routes_spread
+    return record
+
+
+def _run(router: str) -> Dict[str, Any]:
+    return _record(run_cluster_scenario(_cluster_spec(router), [toy_model()]))
+
+
+def round_robin() -> Dict[str, Any]:
+    return _run("round_robin")
+
+
+def least_loaded() -> Dict[str, Any]:
+    return _run("least_loaded")
+
+
+def consistent_hash() -> Dict[str, Any]:
+    return _run("consistent_hash")
+
+
+SCENARIOS = {
+    "round_robin": round_robin,
+    "least_loaded": least_loaded,
+    "consistent_hash": consistent_hash,
+}

@@ -1,0 +1,30 @@
+"""Regenerate ``cluster_golden.json`` from the current implementation.
+
+Run this ONLY on a commit whose cluster path is trusted (the baseline
+was first recorded on the cluster-tier PR, whose 1-host configuration is
+oracle-checked bit-identical to the standalone serving stack):
+
+    PYTHONPATH=src python -m tests.golden.generate_cluster_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cluster_scenarios import SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent / "cluster_golden.json"
+
+
+def main() -> None:
+    golden = {}
+    for name, fn in SCENARIOS.items():
+        print(f"recording {name} ...")
+        golden[name] = fn()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

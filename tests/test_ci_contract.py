@@ -30,12 +30,21 @@ def test_ci_runs_the_same_tier1_command():
 
 
 def test_ci_coverage_job_enforces_serving_floor():
-    """The coverage job measures src/repro/serving/ with a >=85% floor
-    and uploads the report as an artifact."""
+    """The coverage job measures src/repro/serving/ and src/repro/cluster/
+    with a >=85% floor and uploads the report as an artifact."""
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
     assert "--cov=repro.serving" in ci
+    assert "--cov=repro.cluster" in ci
     assert "--cov-fail-under=85" in ci
     assert "upload-artifact" in ci
+
+
+def test_ci_runs_cluster_bench_smoke():
+    """The cluster routing contract is exercised on every push, and the
+    JSON assert keeps the report shape honest."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "benchmarks/bench_cluster.py --smoke" in ci
+    assert "BENCH_cluster.json" in ci
 
 
 def test_pyproject_declares_slow_marker_and_cov_extra():

@@ -151,3 +151,117 @@ def test_tenantspec_runs_unchanged_on_host_pools(dense_workers):
     models = [_model(t.model, seed=i + 1) for i, t in enumerate(tenants)]
     result = run_scenario(spec, models)
     assert result.stats.completed == spec.total_requests
+
+
+# ----------------------------------------------------------------------
+# Cluster tier: the same invariants must hold fleet-wide, for arbitrary
+# host counts, router policies, user populations and drain/fail/restore
+# timelines (repro.cluster) — plus the aggregation contracts only a
+# fleet has: per-host stats sum to cluster totals, and the merged-
+# population percentiles stay monotone.
+# ----------------------------------------------------------------------
+
+from repro.cluster import ClusterSpec, HostEvent, UserSpec  # noqa: E402
+from repro.cluster import run_cluster_scenario  # noqa: E402
+
+
+def host_event_strategy(n_hosts: int):
+    return st.builds(
+        HostEvent,
+        t=st.sampled_from([0.001, 0.003, 0.008]),
+        host=st.sampled_from([f"host{i}" for i in range(n_hosts)]),
+        action=st.sampled_from(["drain", "fail", "restore"]),
+    )
+
+
+def cluster_spec_strategy():
+    # Keep the per-host knobs modest (the fleet multiplies everything).
+    scenario = st.builds(
+        ScenarioSpec,
+        name=st.just("prop-fleet"),
+        tenants=st.tuples(tenant_strategy(0), tenant_strategy(1)),
+        backend=st.sampled_from(["dram", "ndp"]),
+        max_inflight_requests=st.sampled_from([8, 64]),
+        max_batch_requests=st.sampled_from([2, 8]),
+        deadline_drop=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    return st.integers(1, 3).flatmap(
+        lambda n_hosts: st.builds(
+            ClusterSpec,
+            name=st.just("prop-cluster"),
+            scenario=scenario,
+            n_hosts=st.just(n_hosts),
+            router=st.sampled_from(
+                ["round_robin", "least_loaded", "consistent_hash"]
+            ),
+            router_spread=st.sampled_from([1, 2]),
+            users=st.sampled_from(
+                [None, UserSpec(n_users=32, alpha=1.1, reuse=0.8, seed=3)]
+            ),
+            embcache_slots=st.sampled_from([0, 128]),
+            host_events=st.lists(
+                host_event_strategy(n_hosts), max_size=2
+            ).map(tuple),
+        )
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=cluster_spec_strategy())
+def test_cluster_scenario_invariants(spec: ClusterSpec):
+    models = [
+        _model(t.model, seed=i + 1)
+        for i, t in enumerate(spec.scenario.tenants)
+    ]
+    result = run_cluster_scenario(spec, models)
+    stats = result.stats
+    nodes = result.cluster.nodes
+
+    # Fleet conservation: every submission reached one terminal state,
+    # through any combination of drains, failures and router rejections.
+    assert stats.inflight == 0
+    assert stats.submitted == stats.completed + stats.rejected + stats.dropped
+    assert stats.submitted == spec.scenario.total_requests
+
+    # Per-host stats sum to cluster totals (router rejections are
+    # cluster-side only — no host ever saw those requests).
+    for attr in ("completed", "dropped", "inflight", "goodput"):
+        assert getattr(stats, attr) == sum(
+            getattr(n.stats, attr) for n in nodes
+        ), attr
+    assert stats.submitted == stats.router_rejected + sum(
+        n.stats.submitted for n in nodes
+    )
+    assert stats.rejected == stats.router_rejected + sum(
+        n.stats.rejected for n in nodes
+    )
+    assert len(stats.latencies()) == stats.completed
+
+    # Every host-side conservation law still holds per host.
+    for node in nodes:
+        host = node.stats
+        assert host.submitted == (
+            host.completed + host.rejected + host.dropped + host.inflight
+        ), node.name
+
+    # Percentile monotonicity over the merged fleet population.
+    summary = result.summary
+    assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+    assert summary["p99_ms"] <= summary["max_ms"]
+    assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+
+    # Per-lane terminal counts balance per-lane submissions fleet-wide
+    # (router rejections are keyed per model too, via the lane rows).
+    lane_total = 0
+    for model_name, lane in result.lanes.items():
+        assert (
+            lane["completed"] + lane["rejected"] + lane["dropped"]
+            <= lane["submitted"]
+        ), (model_name, lane)
+        lane_total += lane["submitted"]
+    assert lane_total == sum(n.stats.submitted for n in nodes)
