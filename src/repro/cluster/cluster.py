@@ -36,8 +36,15 @@ import copy
 from typing import Dict, List, Optional, Sequence
 
 from ..embedding.table import EmbeddingTable
+from ..faults.tolerance import (
+    REASON_HEDGE,
+    REASON_TIMEOUT,
+    HealthTracker,
+    ToleranceConfig,
+)
 from ..models.base import Batch, RecModel
 from ..models.runner import BackendKind, RunnerConfig
+from ..serving.admission import REASON_CAPACITY, REASON_QUOTA
 from ..serving.request import InferenceRequest, RequestState
 from ..serving.server import InferenceServer
 from .node import ClusterNode
@@ -48,6 +55,237 @@ __all__ = ["REASON_NO_HOST", "replica_model", "Cluster"]
 
 # Router-level rejection reason: no routable host for the model.
 REASON_NO_HOST = "no_host"
+
+# Attempt outcomes the tolerance layer may retry on an alternate host:
+# transient admission pressure and host failures/timeouts.  A deadline
+# verdict is final — the clock that killed it keeps running wherever the
+# retry lands.
+_RETRYABLE_REASONS = frozenset(
+    {REASON_CAPACITY, REASON_QUOTA, REASON_TIMEOUT, "host_down"}
+)
+
+
+class _Attempt:
+    """One host-level try of a logical request (primary, retry or hedge)."""
+
+    __slots__ = ("node", "request", "is_hedge", "live", "timeout_handle")
+
+    def __init__(self, node: ClusterNode, is_hedge: bool):
+        self.node = node
+        self.request: Optional[InferenceRequest] = None
+        self.is_hedge = is_hedge
+        self.live = True
+        self.timeout_handle = None
+
+
+class _Call:
+    """One logical request flowing through the tolerance layer.
+
+    Owns the attempt set (primary + retries + at most one hedge), the
+    timers, and the exactly-once delivery to the caller's ``on_done``:
+    the first attempt to complete wins, still-queued siblings are
+    cancelled (reason :data:`~repro.faults.tolerance.REASON_HEDGE`), and
+    dispatched siblings run to completion on their host but their result
+    is discarded.  Every call delivers exactly one verdict — success or
+    the last attempt's failure — so the workload layer's settled count
+    (``ClusterStats.logical_settled``) always converges.
+    """
+
+    def __init__(self, cluster: "Cluster", model_name: str, batch: Batch,
+                 key: int, on_done, deadline: Optional[float]):
+        self.cluster = cluster
+        self.model_name = model_name
+        self.batch = batch
+        self.key = key
+        self.on_done = on_done
+        self.deadline = deadline
+        self.t_submit = cluster.sim.now
+        self.done = False
+        self.attempts: List[_Attempt] = []
+        self.retries_used = 0
+        self.hedge_issued = False
+        self.hedge_handle = None
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def config(self) -> ToleranceConfig:
+        return self.cluster.tolerance  # type: ignore[return-value]
+
+    def _pick_node(self, exclude: Sequence[ClusterNode]) -> Optional[ClusterNode]:
+        """Route among routable placed hosts, preferring ones not already
+        carrying a live attempt of this call (the *alternate replica*)."""
+        placed = self.cluster.placement[self.model_name]
+        candidates = [
+            n for n in placed if n.routable and n not in exclude
+        ] or [n for n in placed if n.routable]
+        if not candidates:
+            return None
+        return self.cluster.router.route(self.key, self.model_name, candidates)
+
+    def _live_nodes(self) -> List[ClusterNode]:
+        return [a.node for a in self.attempts if a.live]
+
+    # -- attempt lifecycle ---------------------------------------------
+    def start(self) -> InferenceRequest:
+        """Launch the primary attempt (and arm the hedge timer)."""
+        stats = self.cluster.stats
+        stats.logical_submitted += 1
+        node = self._pick_node(exclude=())
+        if node is None:
+            return self._deliver(self.cluster._router_reject(
+                self.model_name, self.batch, on_done=None
+            ))
+        cfg = self.config
+        if cfg.hedge_after_s is not None:
+            self.hedge_handle = self.cluster.sim.schedule(
+                cfg.hedge_after_s, self._fire_hedge
+            )
+        return self._launch(node, is_hedge=False)
+
+    def _launch(self, node: ClusterNode, is_hedge: bool) -> InferenceRequest:
+        attempt = _Attempt(node, is_hedge)
+        self.attempts.append(attempt)
+        cfg = self.config
+        if cfg.timeout_s is not None:
+            attempt.timeout_handle = self.cluster.sim.schedule(
+                cfg.timeout_s, lambda: self._fire_timeout(attempt)
+            )
+        request = node.server.submit(
+            self.model_name,
+            self.batch,
+            on_done=lambda req, a=attempt: self._attempt_done(a, req),
+            deadline=self.deadline,
+        )
+        # A synchronous reject already ran _attempt_done (request unset
+        # there is fine — it uses the callback argument); only stamp the
+        # handle for still-live attempts.
+        attempt.request = request
+        return request
+
+    def _fire_hedge(self) -> None:
+        self.hedge_handle = None
+        if self.done or self.hedge_issued:
+            return
+        node = self._pick_node(exclude=self._live_nodes())
+        if node is None:
+            return
+        self.hedge_issued = True
+        self.cluster.stats.hedges_dispatched += 1
+        self._launch(node, is_hedge=True)
+
+    def _fire_timeout(self, attempt: _Attempt) -> None:
+        attempt.timeout_handle = None
+        if self.done or not attempt.live:
+            return
+        stats = self.cluster.stats
+        stats.timeouts += 1
+        if self.cluster.health is not None:
+            self.cluster.health.on_timeout(attempt.node.name)
+        request = attempt.request
+        if request is not None and request.state is RequestState.QUEUED:
+            # Still waiting for dispatch: claw the attempt back; the
+            # cancel's on_done re-enters _attempt_done with a retryable
+            # DROPPED(timeout) verdict.
+            attempt.node.server.cancel_queued(request, REASON_TIMEOUT)
+            return
+        # Dispatched: its device work cannot be cancelled, so leave it
+        # racing and (budget permitting) dispatch a fresh attempt — a
+        # *hedged retry*, counted as a retry.
+        if self.retries_used < self.config.max_retries:
+            node = self._pick_node(exclude=self._live_nodes())
+            if node is not None:
+                self.retries_used += 1
+                stats.retries += 1
+                self._launch(node, is_hedge=False)
+
+    def _attempt_done(self, attempt: _Attempt, request: InferenceRequest) -> None:
+        health = self.cluster.health
+        if health is not None and request.state is RequestState.COMPLETE:
+            # Late completions of losing attempts still carry a real
+            # latency sample — the breaker wants every observation.
+            health.observe(attempt.node.name, request.latency)
+        if self.done:
+            return
+        attempt.live = False
+        if attempt.timeout_handle is not None:
+            attempt.timeout_handle.cancel()
+            attempt.timeout_handle = None
+        if request.state is RequestState.COMPLETE:
+            self._deliver(request, winner=attempt)
+            return
+        # Failed attempt.  Retry when the failure is transient and the
+        # budget allows; otherwise fall back to any sibling still racing,
+        # and only then give up.
+        stats = self.cluster.stats
+        reason = request.drop_reason or ""
+        retryable = reason in _RETRYABLE_REASONS
+        if retryable and self.retries_used < self.config.max_retries:
+            self.retries_used += 1
+            stats.retries += 1
+            delay = self.config.backoff_s * (2 ** (self.retries_used - 1))
+            failed_node = attempt.node
+            if delay > 0:
+                self.cluster.sim.schedule(
+                    delay, lambda: self._retry(failed_node, request)
+                )
+            else:
+                self._retry(failed_node, request)
+            return
+        if any(a.live for a in self.attempts):
+            return  # a sibling attempt is still racing; wait for it
+        if retryable and self.config.max_retries > 0:
+            stats.retries_exhausted += 1
+        self._deliver(request)
+
+    def _retry(self, failed_node: ClusterNode, failed_request: InferenceRequest) -> None:
+        if self.done:
+            return
+        node = self._pick_node(exclude=[failed_node] + self._live_nodes())
+        if node is None:
+            if any(a.live for a in self.attempts):
+                return
+            self._deliver(failed_request)
+            return
+        self._launch(node, is_hedge=False)
+
+    # -- delivery ------------------------------------------------------
+    def _deliver(
+        self, request: InferenceRequest, winner: Optional[_Attempt] = None
+    ) -> InferenceRequest:
+        if self.done:
+            return request
+        self.done = True
+        stats = self.cluster.stats
+        stats.logical_settled += 1
+        if request.state is RequestState.COMPLETE:
+            # Delivery happens synchronously at the winner's completion,
+            # so now - t_submit is the latency the caller saw.
+            stats.logical_completed += 1
+            stats.logical_latencies.append(self.cluster.sim.now - self.t_submit)
+        else:
+            stats.logical_failed += 1
+        if self.hedge_handle is not None:
+            self.hedge_handle.cancel()
+            self.hedge_handle = None
+        for attempt in list(self.attempts):
+            if attempt.timeout_handle is not None:
+                attempt.timeout_handle.cancel()
+                attempt.timeout_handle = None
+            if attempt is winner or not attempt.live:
+                continue
+            sibling = attempt.request
+            if sibling is not None and sibling.state is RequestState.QUEUED:
+                # Synchronous cancel re-enters _attempt_done, which
+                # no-ops now that the call is done.
+                attempt.node.server.cancel_queued(sibling, REASON_HEDGE)
+        if self.hedge_issued:
+            if winner is not None and winner.is_hedge:
+                stats.hedges_won += 1
+            else:
+                stats.hedges_lost += 1
+        if self.on_done is not None:
+            self.on_done(request)
+        return request
 
 
 def replica_model(model: RecModel) -> RecModel:
@@ -71,7 +309,12 @@ def replica_model(model: RecModel) -> RecModel:
 class Cluster:
     """A routed fleet of inference hosts on one shared sim kernel."""
 
-    def __init__(self, nodes: Sequence[InferenceServer], router: Router):
+    def __init__(
+        self,
+        nodes: Sequence[InferenceServer],
+        router: Router,
+        tolerance: Optional[ToleranceConfig] = None,
+    ):
         if not nodes:
             raise ValueError("cluster needs at least one host")
         sims = {id(server.sim) for server in nodes}
@@ -86,6 +329,18 @@ class Cluster:
         ]
         self.router = router
         self.stats = ClusterStats(self.sim, self.nodes)
+        # Tail tolerance (repro.faults.tolerance).  None — the default —
+        # keeps the zero-event, zero-RNG submit path bit-identical to
+        # the pre-fault-layer cluster; a ToleranceConfig switches submit
+        # to the retry/hedge state machine and settled accounting to
+        # logical requests.
+        self.tolerance = tolerance
+        self.stats.tolerance_active = tolerance is not None
+        self.health: Optional[HealthTracker] = None
+        if tolerance is not None and tolerance.breaker is not None:
+            self.health = HealthTracker(
+                self.sim, self.nodes, tolerance.breaker, stats=self.stats
+            )
         self.models: Dict[str, RecModel] = {}
         # model -> the ClusterNodes it is placed on (placement order).
         self.placement: Dict[str, List[ClusterNode]] = {}
@@ -191,21 +446,11 @@ class Cluster:
         else:
             key = self._next_key
             self._next_key += 1
+        if self.tolerance is not None:
+            call = _Call(self, model_name, batch, key, on_done, deadline)
+            return call.start()
         if not any(node.routable for node in nodes):
-            # Terminates at the router: REJECTED without touching any
-            # host, accounted fleet-side so conservation still holds.
-            request = InferenceRequest(
-                model=model_name,
-                batch=batch,
-                request_id=-1,
-                t_arrival=self.sim.now,
-                user_id=batch.user_id,
-                on_done=on_done,
-            )
-            request.state = RequestState.REJECTED
-            request.drop_reason = REASON_NO_HOST
-            request.t_done = self.sim.now
-            self.stats.record_router_reject(request)
+            request = self._router_reject(model_name, batch, on_done)
             if request.on_done is not None:
                 request.on_done(request)
             return request
@@ -213,6 +458,26 @@ class Cluster:
         return node.server.submit(
             model_name, batch, on_done=on_done, deadline=deadline
         )
+
+    def _router_reject(
+        self, model_name: str, batch: Batch, on_done
+    ) -> InferenceRequest:
+        """Terminate a submission at the router: REJECTED without
+        touching any host, accounted fleet-side so conservation still
+        holds.  The caller owns the ``on_done`` notification."""
+        request = InferenceRequest(
+            model=model_name,
+            batch=batch,
+            request_id=-1,
+            t_arrival=self.sim.now,
+            user_id=batch.user_id,
+            on_done=on_done,
+        )
+        request.state = RequestState.REJECTED
+        request.drop_reason = REASON_NO_HOST
+        request.t_done = self.sim.now
+        self.stats.record_router_reject(request)
+        return request
 
     # ------------------------------------------------------------------
     # Driving / stats

@@ -42,6 +42,11 @@ class ClusterNode:
     def __init__(self, server: InferenceServer):
         self.server = server
         self.state = NodeState.UP
+        # Circuit breaker (repro.faults.tolerance.HealthTracker): an UP
+        # host the breaker has ejected from routing while it probes the
+        # host's latency back to health.  Orthogonal to the lifecycle
+        # state — an ejected host still runs its admitted work.
+        self.ejected = False
 
     # ------------------------------------------------------------------
     @property
@@ -51,7 +56,7 @@ class ClusterNode:
     @property
     def routable(self) -> bool:
         """Eligible for new traffic right now."""
-        return self.state is NodeState.UP
+        return self.state is NodeState.UP and not self.ejected
 
     @property
     def inflight(self) -> int:
@@ -75,7 +80,13 @@ class ClusterNode:
     def fail(self) -> int:
         """Fail-stop: unroutable plus the queued backlog is shed.
 
-        Returns how many queued requests were dropped."""
+        Returns how many queued requests were dropped.  Idempotent: a
+        host that is already DOWN has no backlog left to shed, so a
+        repeated (or racing drain-then-fail) call must not re-drop —
+        ``shed_queued`` on an empty queue is a no-op, but guarding here
+        keeps the 0-return contract explicit."""
+        if self.state is NodeState.DOWN:
+            return 0
         self.state = NodeState.DOWN
         return self.server.shed_queued(reason="host_down")
 

@@ -25,6 +25,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.engine import NdpEngineConfig
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultSpec
+from ..faults.tolerance import ToleranceConfig
 from ..host.system import build_system
 from ..models.base import RecModel
 from ..models.runner import required_capacity_pages
@@ -119,6 +122,15 @@ class ClusterSpec:
     host_events: Tuple[HostEvent, ...] = ()
     num_workers: int = 1
     embcache_slots: int = 0
+    # Fault schedule for the whole fleet (repro.faults): host-scoped
+    # events name a host; device-scoped events must too.  Lives here —
+    # not on the wrapped ScenarioSpec, whose faults field is for
+    # standalone runs and is rejected in a cluster context.
+    faults: Optional[FaultSpec] = None
+    # Tail tolerance (timeouts / retries / hedging / circuit breaker)
+    # for the cluster front-end.  None keeps submit bit-identical to
+    # the pre-fault-layer cluster.
+    tolerance: Optional[ToleranceConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -131,6 +143,24 @@ class ClusterSpec:
                     f"event targets unknown host {event.host!r} "
                     f"(fleet has {self.n_hosts} hosts)"
                 )
+        if self.scenario.faults is not None:
+            raise ValueError(
+                "put the fault schedule on ClusterSpec.faults, not the "
+                "wrapped ScenarioSpec — cluster fault events must name "
+                "their target host"
+            )
+        if self.faults is not None:
+            for event in self.faults.events:
+                if event.host is None:
+                    raise ValueError(
+                        f"cluster fault event {event.kind!r}@{event.t} "
+                        f"must name a host"
+                    )
+                if event.host not in hosts:
+                    raise ValueError(
+                        f"fault event targets unknown host {event.host!r} "
+                        f"(fleet has {self.n_hosts} hosts)"
+                    )
         tenants = {t.model for t in self.scenario.tenants}
         for model, indices in (self.placement or {}).items():
             if model not in tenants:
@@ -163,6 +193,10 @@ class ClusterResult:
     summary: Dict[str, float]
     per_host: Dict[str, Dict[str, float]] = field(default_factory=dict)
     lanes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Fault runs only (both empty otherwise): the injector's event log
+    # and the tolerance layer's retry/hedge/breaker/degradation gauges.
+    fault_log: List[Dict] = field(default_factory=list)
+    tolerance: Dict[str, float] = field(default_factory=dict)
 
     def host(self, name: str) -> Dict[str, float]:
         return self.per_host[name]
@@ -217,7 +251,7 @@ def build_cluster(
         )
         for index in range(spec.n_hosts)
     ]
-    cluster = Cluster(servers, spec.make_router())
+    cluster = Cluster(servers, spec.make_router(), tolerance=spec.tolerance)
     placement = spec.placement or {}
     for tenant in scenario.tenants:
         cluster.register_model(
@@ -302,7 +336,16 @@ def run_cluster_scenario(
         cluster.sim.schedule_at(
             event.t, lambda action=action, host=event.host: action(host)
         )
+    injector = None
+    if spec.faults is not None:
+        injector = FaultInjector(spec.faults)
+        injector.arm_cluster(cluster)
     stats = run_workload(cluster, _generators(spec, by_name), seed=spec.scenario.seed)
+    if spec.tolerance is not None:
+        # run_workload stops at the *logical* settle; losing hedge /
+        # timed-out attempts may still hold device work — drain it so
+        # per-host stats are final and the fleet ends quiescent.
+        cluster.run_until_settled()
     return ClusterResult(
         spec=spec,
         cluster=cluster,
@@ -310,4 +353,8 @@ def run_cluster_scenario(
         summary=stats.summary(),
         per_host=stats.per_host_summary(),
         lanes=stats.lane_summary(),
+        fault_log=list(injector.stats.log) if injector is not None else [],
+        tolerance=(
+            stats.tolerance_summary() if spec.tolerance is not None else {}
+        ),
     )

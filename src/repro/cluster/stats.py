@@ -48,10 +48,17 @@ class ClusterStats:
     def __init__(self, sim, nodes: Sequence[ClusterNode]):
         self.sim = sim
         self._nodes = list(nodes)
+        # Wiring, not a counter: True while the cluster front-end runs
+        # with a ToleranceConfig, switching ``settled`` to logical
+        # (per-call) accounting — retried/hedged attempts are extra
+        # *host* submissions for one *logical* request, so the host-sum
+        # formula would overcount the workload's stop predicate.
+        self.tolerance_active = False
         self.reset()
 
     def reset(self) -> None:
-        """Discard the cluster-level window (router rejections).
+        """Discard the cluster-level window (router rejections plus the
+        tolerance layer's retry/hedge/breaker counters).
 
         Per-host windows are NOT touched here — the cluster front-end's
         ``reset_stats`` cascades to hosts and router explicitly, so each
@@ -59,6 +66,25 @@ class ClusterStats:
         """
         self.router_rejected = 0
         self.rejects_by_reason: Dict[str, int] = {}
+        # Tail tolerance (repro.faults.tolerance) — all zero unless the
+        # cluster runs with a ToleranceConfig.
+        self.logical_submitted = 0   # logical requests entering the router
+        self.logical_settled = 0     # logical requests with a final verdict
+        self.logical_completed = 0   # logical requests delivered a result
+        self.logical_failed = 0      # logical requests delivered a failure
+        # Submit-to-winning-completion time per completed logical request
+        # — the latency a caller actually saw, excluding losing hedge /
+        # retry attempts that completed late on a sick host.
+        self.logical_latencies: List[float] = []
+        self.timeouts = 0            # attempts abandoned past timeout_s
+        self.retries = 0             # re-dispatches after a retryable failure
+        self.retries_exhausted = 0   # logical requests whose budget ran out
+        self.hedges_dispatched = 0   # speculative second copies issued
+        self.hedges_won = 0          # logical requests the hedge completed
+        self.hedges_lost = 0         # hedges whose primary finished first
+        self.breaker_ejections = 0   # hosts ejected by the health tracker
+        self.breaker_probes = 0      # half-open probe admissions
+        self.breaker_restores = 0    # probes that closed the breaker again
 
     def reset_stats(self) -> None:
         self.reset()
@@ -106,18 +132,43 @@ class ClusterStats:
         return self._sum("goodput")
 
     @property
+    def degraded(self) -> int:
+        """Completed-but-partial requests fleet-wide (down shards)."""
+        return self._sum("degraded")
+
+    @property
+    def missing_bags(self) -> int:
+        return self._sum("missing_bags")
+
+    @property
     def deadline_misses(self) -> int:
         return self._sum("deadline_misses")
 
     @property
     def settled(self) -> int:
         """Terminal requests fleet-wide (the ``run_workload`` stop
-        predicate; router rejections settle instantly)."""
+        predicate; router rejections settle instantly).
+
+        With tolerance active this is the *logical* count: one per
+        router-level request, however many host attempts (retries,
+        hedges) it took — the host-sum formula would count each attempt.
+        """
+        if self.tolerance_active:
+            return self.logical_settled
         return self.completed + self.rejected + self.dropped
 
     # ------------------------------------------------------------------
     def latencies(self) -> List[float]:
-        """Every completed request's latency, fleet-wide (seconds)."""
+        """The latency population the fleet SLO is judged on (seconds).
+
+        Host-merged completions normally; with tolerance active, the
+        *logical* view — submit to first winning completion per logical
+        request — because losing hedge/retry attempts still complete
+        (late) on their sick host and would otherwise pollute the fleet
+        tail with latencies no caller ever waited on.
+        """
+        if self.tolerance_active:
+            return list(self.logical_latencies)
         merged: List[float] = []
         for node in self._nodes:
             merged.extend(node.stats.latencies)
@@ -199,6 +250,28 @@ class ClusterStats:
             "hosts": float(len(self._nodes)),
             "router_rejected": float(self.router_rejected),
             "cache_hit_rate": self.cache_hit_rate(),
+        }
+
+    def tolerance_summary(self) -> Dict[str, float]:
+        """Tail-tolerance and degradation gauges, reported separately
+        from :meth:`summary` so healthy-run outputs stay byte-identical
+        to pre-fault-layer results."""
+        return {
+            "logical_submitted": float(self.logical_submitted),
+            "logical_settled": float(self.logical_settled),
+            "logical_completed": float(self.logical_completed),
+            "logical_failed": float(self.logical_failed),
+            "timeouts": float(self.timeouts),
+            "retries": float(self.retries),
+            "retries_exhausted": float(self.retries_exhausted),
+            "hedges_dispatched": float(self.hedges_dispatched),
+            "hedges_won": float(self.hedges_won),
+            "hedges_lost": float(self.hedges_lost),
+            "breaker_ejections": float(self.breaker_ejections),
+            "breaker_probes": float(self.breaker_probes),
+            "breaker_restores": float(self.breaker_restores),
+            "degraded": float(self.degraded),
+            "missing_bags": float(self.missing_bags),
         }
 
     def per_host_summary(self) -> Dict[str, Dict[str, float]]:

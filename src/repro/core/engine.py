@@ -44,6 +44,7 @@ class SlsResultPayload:
     flash_pages_read: int
     page_cache_hits: int
     emb_cache_hits: int
+    uncorrectable_pages: int = 0
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,9 @@ class NdpSlsEngine:
         self.controller = controller
         self.codec = codec
         self.config = config or NdpEngineConfig()
+        # Fault-injection crash flag: a down engine takes no new SLS
+        # work (the NDP backend falls back to the host read path).
+        self.down = False
         self.entries: Dict[int, SlsRequestEntry] = {}
         self.emb_cache = DirectMappedEmbeddingCache(self.config.embcache_slots)
         # Round-robin feed order across entries with pending pages.
@@ -394,15 +398,22 @@ class NdpSlsEngine:
         entry.cpu_translation += cost
 
         def apply() -> None:
-            vectors = extract_vectors(
-                content, work.slots, cfg.vec_dim, cfg.rows_per_page, cfg.quant
-            )
-            scatter_add_vectors(entry.scratchpad, work.result_ids, vectors)
-            if self.emb_cache.slots > 0:
-                page_row0 = (work.lpn - entry.table_base_lpn) * cfg.rows_per_page
-                self.emb_cache.insert_many(
-                    entry.table_base_lpn, page_row0 + work.slots, vectors
+            if content is None:
+                # Uncorrectable read: the page's rows contribute zeros
+                # (extract_vectors' None contract) and must NOT be
+                # inserted into the embedding cache, which would serve
+                # zeros for those rows long after the fault clears.
+                entry.uncorrectable_pages += 1
+            else:
+                vectors = extract_vectors(
+                    content, work.slots, cfg.vec_dim, cfg.rows_per_page, cfg.quant
                 )
+                scatter_add_vectors(entry.scratchpad, work.result_ids, vectors)
+                if self.emb_cache.slots > 0:
+                    page_row0 = (work.lpn - entry.table_base_lpn) * cfg.rows_per_page
+                    self.emb_cache.insert_many(
+                        entry.table_base_lpn, page_row0 + work.slots, vectors
+                    )
             entry.pages_done += 1
             entry.pages_inflight -= 1
             self._maybe_finish(entry)
@@ -460,6 +471,7 @@ class NdpSlsEngine:
                 flash_pages_read=entry.flash_pages_read,
                 page_cache_hits=entry.page_cache_hits,
                 emb_cache_hits=entry.emb_cache_hits,
+                uncorrectable_pages=entry.uncorrectable_pages,
             )
             done(payload, Status.SUCCESS)
 

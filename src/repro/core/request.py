@@ -76,6 +76,7 @@ class SlsRequestEntry:
     flash_pages_read: int = 0
     page_cache_hits: int = 0
     emb_cache_hits: int = 0
+    uncorrectable_pages: int = 0
     error: Optional[str] = None
 
     # ------------------------------------------------------------------

@@ -84,6 +84,17 @@ class SlsBackend(ABC):
     ) -> None:
         """Backend-specific implementation behind :meth:`start`."""
 
+    @property
+    def available(self) -> bool:
+        """False when the backing device is fail-stopped.
+
+        DRAM-backed tables have no device and are always available;
+        sharded stages skip unavailable backends and degrade the result
+        instead of failing the batch.
+        """
+        device = getattr(self.table, "device", None)
+        return not getattr(device, "down", False)
+
     def reset_stats(self) -> None:
         """Clear op counters (in-flight gauges keep tracking live ops)."""
         self.ops = 0

@@ -39,6 +39,10 @@ class NdpSlsBackend(SlsBackend):
         super().__init__(system, table)
         self.partition = partition
         self.vectorized = vectorized
+        # Host-path fallback used while the device's NDP engine is down
+        # (fault injection); built lazily so healthy runs never touch it.
+        self._fallback = None
+        self.fallback_ops = 0
 
     # ------------------------------------------------------------------
     def _split_partition(
@@ -136,6 +140,10 @@ class NdpSlsBackend(SlsBackend):
         return cold_bags, host_cost
 
     def _start(self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]) -> None:
+        device = getattr(self.table, "device", None)
+        if device is not None and getattr(device.ndp, "down", False):
+            self._start_fallback(bags, on_done)
+            return
         sim = self.system.sim
         host_cpu = self.system.host_cpu
         table = self.table
@@ -171,6 +179,8 @@ class NdpSlsBackend(SlsBackend):
             stats["flash_pages_read"] = float(payload.flash_pages_read)
             stats["ssd_page_cache_hits"] = float(payload.page_cache_hits)
             stats["emb_cache_hits"] = float(payload.emb_cache_hits)
+            if payload.uncorrectable_pages:
+                stats["uncorrectable_pages"] = float(payload.uncorrectable_pages)
             # Post-process: merge SSD partial sums with host partition sums.
             merge_cost = host_cpu.accumulate_time(n_results, table.spec.row_bytes)
             breakdown.add("host_merge", merge_cost)
@@ -190,3 +200,34 @@ class NdpSlsBackend(SlsBackend):
             sim.schedule(host_cost + merge_cost, finish)
 
         self.system.session_for(self.table.device).sls(config, ndp_done)
+
+    # ------------------------------------------------------------------
+    def _start_fallback(
+        self, bags: Sequence[np.ndarray], on_done: Callable[[SlsOpResult], None]
+    ) -> None:
+        """NDP engine down: serve via the host-orchestrated SSD read path.
+
+        Graceful degradation, not failure — the data is still on the
+        device, only the in-storage compute is gone, so the host reads
+        pages and accumulates itself (slower, but correct).  Results are
+        tagged ``ndp_fallback`` so stats can separate the two paths.
+        """
+        from .ssd import SsdSlsBackend
+
+        if self._fallback is None:
+            self._fallback = SsdSlsBackend(
+                self.system, self.table, vectorized=self.vectorized
+            )
+        self.fallback_ops += 1
+
+        def tagged(result: SlsOpResult) -> None:
+            result.stats["ndp_fallback"] = 1.0
+            on_done(result)
+
+        self._fallback._start(bags, tagged)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.fallback_ops = 0
+        if self._fallback is not None:
+            self._fallback.reset_stats()

@@ -136,31 +136,47 @@ class SsdSlsBackend(SlsBackend):
                 got_rows = rows[member_idx]
                 got_rids = rids[member_idx]
                 segments = cpl.payload.segments
-                if prefetch and all(
-                    type(seg.content) is TablePageContent
-                    and seg.content.table is table
-                    for seg in segments
-                ):
-                    vecs = prefetched()[member_idx]
-                elif len(segments) == 1:
-                    # Single-page command (every non-coalesced command):
-                    # one direct extract, no grouping machinery.
-                    vecs = extract_vectors(
-                        segments[0].content, got_rows % rpp, dim, rpp, quant
-                    )
-                else:
-                    content_by_lpn = {seg.lpn: seg.content for seg in segments}
-                    vecs = extract_vectors_many(
-                        content_by_lpn,
+                bad_lpns = [seg.lpn for seg in segments if seg.content is None]
+                if bad_lpns:
+                    # Uncorrectable pages: their rows contribute zeros and
+                    # must not be inserted into the host cache (that would
+                    # pin zeros past the fault).  Count them for quality
+                    # accounting; the op still completes.
+                    ok = ~np.isin(
                         base_lpn + got_rows // rpp,
-                        got_rows % rpp,
-                        dim,
-                        rpp,
-                        quant,
+                        np.asarray(bad_lpns, dtype=np.int64),
                     )
-                scatter_add_vectors(values, got_rids, vecs)
-                if self.host_cache is not None:
-                    self.host_cache.insert_many(got_rows, vecs)
+                    stats["uncorrectable_rows"] = stats.get(
+                        "uncorrectable_rows", 0.0
+                    ) + float(got_rows.size - int(np.count_nonzero(ok)))
+                    got_rows = got_rows[ok]
+                    got_rids = got_rids[ok]
+                if got_rows.size:
+                    if not bad_lpns and prefetch and all(
+                        type(seg.content) is TablePageContent
+                        and seg.content.table is table
+                        for seg in segments
+                    ):
+                        vecs = prefetched()[member_idx]
+                    elif len(segments) == 1:
+                        # Single-page command (every non-coalesced command):
+                        # one direct extract, no grouping machinery.
+                        vecs = extract_vectors(
+                            segments[0].content, got_rows % rpp, dim, rpp, quant
+                        )
+                    else:
+                        content_by_lpn = {seg.lpn: seg.content for seg in segments}
+                        vecs = extract_vectors_many(
+                            content_by_lpn,
+                            base_lpn + got_rows // rpp,
+                            got_rows % rpp,
+                            dim,
+                            rpp,
+                            quant,
+                        )
+                    scatter_add_vectors(values, got_rids, vecs)
+                    if self.host_cache is not None:
+                        self.host_cache.insert_many(got_rows, vecs)
                 pending["accumulate_cost"] += host_cpu.accumulate_time(
                     got_rows.size, table.spec.row_bytes
                 )
@@ -304,8 +320,18 @@ class SsdSlsBackend(SlsBackend):
                 slots = got_rows % rpp
                 base_lpn = table_base_byte // page_bytes
                 vecs = np.zeros((got_rows.size, table.spec.dim), dtype=np.float32)
+                readable = np.ones(got_rows.size, dtype=bool)
                 for j in range(got_rows.size):
                     content = content_by_lpn.get(base_lpn + int(page_idx[j]))
+                    if content is None:
+                        # Uncorrectable page: row contributes zeros, is
+                        # not cached, and is counted (mirrors the
+                        # vectorized path's filtering).
+                        readable[j] = False
+                        stats["uncorrectable_rows"] = (
+                            stats.get("uncorrectable_rows", 0.0) + 1.0
+                        )
+                        continue
                     vecs[j] = extract_vectors(
                         content,
                         np.asarray([slots[j]]),
@@ -316,9 +342,10 @@ class SsdSlsBackend(SlsBackend):
                 np.add.at(values, got_rids, vecs)
                 if self.host_cache is not None:
                     for j in range(got_rows.size):
-                        self.host_cache.insert(int(got_rows[j]), vecs[j])
+                        if readable[j]:
+                            self.host_cache.insert(int(got_rows[j]), vecs[j])
                 pending["accumulate_cost"] += host_cpu.accumulate_time(
-                    got_rows.size, table.spec.row_bytes
+                    int(np.count_nonzero(readable)), table.spec.row_bytes
                 )
                 pending["n"] -= 1
                 if pending["n"] == 0:

@@ -37,6 +37,10 @@ class EmbStageResult:
     end_time: float
     breakdown: Breakdown = field(default_factory=Breakdown)
     per_shard: Dict[int, Dict[str, SlsOpResult]] = field(default_factory=dict)
+    # Graceful degradation (sharded stage only): table name -> sorted
+    # batch-bag indices whose lookups were skipped because their shard's
+    # device is down; ``values`` holds partial sums for those bags.
+    missing_by_table: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def latency(self) -> float:

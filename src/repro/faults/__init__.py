@@ -1,0 +1,40 @@
+"""Fault injection and tail tolerance for the serving/cluster tiers.
+
+Two halves of one robustness story:
+
+* :mod:`repro.faults.spec` + :mod:`repro.faults.injector` — *make it
+  break*: declarative :class:`FaultSpec` schedules (fail-slow devices,
+  uncorrectable read errors, NDP crashes, device/host fail-stops)
+  applied deterministically at simulated times.
+* :mod:`repro.faults.tolerance` — *survive it*: per-request timeouts,
+  bounded retry-with-backoff, hedged requests and an EWMA circuit
+  breaker, configured by :class:`ToleranceConfig` and enforced by
+  :class:`~repro.cluster.cluster.Cluster`.
+
+Both are strictly opt-in: with no ``FaultSpec`` and no
+``ToleranceConfig``, scenario runs are bit-identical (values *and*
+event timestamps) to a build without this package.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .spec import FAULT_KINDS, FaultEvent, FaultSpec
+from .tolerance import (
+    REASON_HEDGE,
+    REASON_TIMEOUT,
+    BreakerConfig,
+    HealthTracker,
+    ToleranceConfig,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultStats",
+    "BreakerConfig",
+    "ToleranceConfig",
+    "HealthTracker",
+    "REASON_TIMEOUT",
+    "REASON_HEDGE",
+]

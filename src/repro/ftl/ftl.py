@@ -139,7 +139,10 @@ class GreedyFtl:
             self.flash.read(ppn, after_flash)
 
         def after_flash(content: Any) -> None:
-            self.page_cache.insert(lpn, content)
+            # None means the flash gave up (uncorrectable read): caching
+            # it would turn a transient fault into a permanent zero-page.
+            if content is not None:
+                self.page_cache.insert(lpn, content)
             on_done(content, False)
 
         self.cpu.ftl_core.submit(costs.io_miss_s, after_cpu)
@@ -192,7 +195,8 @@ class GreedyFtl:
             def page_done(j: int, content: Any) -> None:
                 i = flash_indices[j]
                 contents[i] = content
-                page_cache.insert(lpns[i], content)
+                if content is not None:  # don't cache uncorrectable reads
+                    page_cache.insert(lpns[i], content)
                 remaining["n"] -= 1
                 if remaining["n"] == 0:
                     on_done(contents)
@@ -247,7 +251,8 @@ class GreedyFtl:
                 def make(i: int, lpn: int):
                     def cb(content: Any) -> None:
                         contents[i] = content
-                        self.page_cache.insert(lpn, content)
+                        if content is not None:  # don't cache uncorrectable reads
+                            self.page_cache.insert(lpn, content)
                         remaining["n"] -= 1
                         if remaining["n"] == 0:
                             on_done(contents)

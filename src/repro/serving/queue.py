@@ -145,6 +145,30 @@ class RequestQueue:
             rotation.append(model)
         return out
 
+    def remove(self, request: InferenceRequest) -> bool:
+        """Remove one *queued* request from its lane (timeout/hedge
+        cancellation).
+
+        The request stays admitted — as with :meth:`drain_queued`, the
+        caller owns the terminal transition and the :meth:`release`.
+        Returns ``False`` when the request is not queued here (already
+        popped for dispatch, or never offered).
+        """
+        lane = self._lanes.get(request.model)
+        if not lane:
+            return False
+        try:
+            lane.remove(request)
+        except ValueError:
+            return False
+        if not lane:
+            rotation = self._rotation_for(request.model)
+            try:
+                rotation.remove(request.model)
+            except ValueError:
+                pass
+        return True
+
     def drain_queued(self) -> List[InferenceRequest]:
         """Remove and return every queued (undispatched) request, lane by
         lane in lane-creation order (deterministic).

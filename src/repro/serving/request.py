@@ -28,7 +28,11 @@ class RequestState(Enum):
     DROPPED = "dropped"     # admitted, then shed before dispatch (QoS)
 
 
-@dataclass
+# eq=False: a live request is identified by identity, not field values —
+# queue removal (timeout/hedge cancellation) must never match a
+# different-but-equal request, and field comparison through the
+# numpy-backed Batch is ill-defined anyway.
+@dataclass(eq=False)
 class InferenceRequest:
     """One in-flight inference request.
 
@@ -60,6 +64,11 @@ class InferenceRequest:
     # Originating user (copied from the batch; None = anonymous) — the
     # key locality-aware cluster routers hash on.
     user_id: Optional[int] = None
+    # Graceful-degradation quality accounting: a completed request whose
+    # batch lost lookups to a down shard/device is ``degraded`` with
+    # ``missing_bags`` counting its (bag, table) pairs served partially.
+    degraded: bool = False
+    missing_bags: int = 0
     values: Dict[str, np.ndarray] = field(default_factory=dict)
     output: Optional[np.ndarray] = None
     on_done: Optional[Callable[["InferenceRequest"], None]] = None

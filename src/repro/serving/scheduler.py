@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..embedding.stage import EmbeddingStage, EmbStageResult
 from ..models.base import RecModel
 from .queue import RequestQueue
@@ -229,11 +231,25 @@ class BatchScheduler:
         worker.batches_done += 1
         now = self.sim.now
         self._record_shard_work(worker, result)
+        self._record_fault_work(result)
+        missing = getattr(result, "missing_by_table", None)
         for request, span in zip(requests, spans):
             request.t_emb_done = now
             request.values = {
                 name: result.values[name][lo:hi] for name, (lo, hi) in span.items()
             }
+            if missing:
+                # Graceful degradation: map the stage's missing batch-bag
+                # indices back through this request's spans so quality
+                # loss is attributed per request, not per batch.
+                lost = 0
+                for name, (lo, hi) in span.items():
+                    ids = missing.get(name)
+                    if ids is not None and len(ids):
+                        lost += int(np.count_nonzero((ids >= lo) & (ids < hi)))
+                if lost:
+                    request.degraded = True
+                    request.missing_bags += lost
         self.on_batch_done(requests)
         # A batch slot just freed; pull in whatever queued behind it.
         self.pump()
@@ -248,6 +264,20 @@ class BatchScheduler:
             + stats.get("emb_cache_hits", 0.0)
             + stats.get("partition_hits", 0.0)
         )
+
+    def _record_fault_work(self, result: EmbStageResult) -> None:
+        """Fold the batch's fault accounting (uncorrectable reads, NDP
+        fallback ops) into the serving stats.  All-zero under healthy
+        operation — no counters move and no stats keys exist then."""
+        rows = result.stat_total("uncorrectable_rows")
+        pages = result.stat_total("uncorrectable_pages")
+        fallbacks = result.stat_total("ndp_fallback")
+        if rows:
+            self.stats.uncorrectable_rows += rows
+        if pages:
+            self.stats.uncorrectable_pages += pages
+        if fallbacks:
+            self.stats.ndp_fallbacks += int(fallbacks)
 
     def _record_shard_work(self, worker: ModelWorker, result: EmbStageResult) -> None:
         """Credit the batch's embedding work to the device(s) that ran it."""

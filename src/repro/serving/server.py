@@ -536,6 +536,31 @@ class InferenceServer:
         if request.on_done is not None:
             request.on_done(request)
 
+    def cancel_queued(self, request: InferenceRequest, reason: str) -> bool:
+        """Cancel one still-queued request (tolerance layer: a timed-out
+        or hedge-losing attempt whose device work has not started).
+
+        Returns ``False`` — and does nothing — when the request is no
+        longer queued here (already dispatched, or already terminal);
+        cancellation never claws back in-flight device work.  On success
+        the request terminates DROPPED with ``reason`` and its admission
+        slot frees, preserving the conservation invariant.
+        """
+        if request.state is not RequestState.QUEUED:
+            return False
+        if not self.queue.remove(request):
+            return False
+        request.state = RequestState.DROPPED
+        request.drop_reason = reason
+        request.t_done = self.sim.now
+        self.queue.release(request.model)
+        self.stats.record_drop(request)
+        if reason == "timeout":
+            self.stats.timeout_cancels += 1
+        if request.on_done is not None:
+            request.on_done(request)
+        return True
+
     def shed_queued(self, reason: str = "host_down") -> int:
         """Drop every queued (not yet dispatched) request, e.g. on a
         cluster host failure.

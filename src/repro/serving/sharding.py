@@ -477,14 +477,40 @@ class ShardedEmbeddingStage:
         n_bags = {name: len(bags) for name, bags in bags_by_table.items()}
 
         # ---- scatter: (shard, table) -> shard-local bags -------------
+        # Sub-batches owed to an unavailable (fail-stopped) device are
+        # skipped instead of dispatched: the batch completes as a partial
+        # sum and ``missing_by_table`` records which bags lost lookups —
+        # graceful degradation rather than a failed batch.
         jobs: List[Tuple[int, str, List[np.ndarray]]] = []
+        skipped: Dict[str, List[np.ndarray]] = {}
+
+        def skip(name: str, sub_bags: Sequence[np.ndarray]) -> None:
+            affected = np.flatnonzero(
+                np.asarray(
+                    [np.asarray(b).size for b in sub_bags], dtype=np.int64
+                )
+            )
+            if affected.size:
+                skipped.setdefault(name, []).append(affected)
+
         for name, bags in bags_by_table.items():
             placement = self.plan.placements[name]
             if placement.mapping is None:
-                jobs.append((placement.shards[0], name, list(bags)))
+                shard = placement.shards[0]
+                if self.backends_by_shard[shard][name].available:
+                    jobs.append((shard, name, list(bags)))
+                else:
+                    skip(name, bags)
             else:
                 for shard, sub in scatter_bags(bags, placement.mapping).items():
-                    jobs.append((shard, name, sub))
+                    if self.backends_by_shard[shard][name].available:
+                        jobs.append((shard, name, sub))
+                    else:
+                        skip(name, sub)
+        missing_by_table = {
+            name: np.unique(np.concatenate(chunks))
+            for name, chunks in skipped.items()
+        }
 
         per_shard: Dict[int, Dict[str, SlsOpResult]] = {}
         pending = {"n": len(jobs)}
@@ -510,6 +536,7 @@ class ShardedEmbeddingStage:
                     end_time=self.sim.now,
                     breakdown=breakdown,
                     per_shard=per_shard,
+                    missing_by_table=missing_by_table,
                 )
             )
 

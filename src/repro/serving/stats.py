@@ -112,6 +112,20 @@ class ServingStats:
         self.dense_wait_s: List[float] = []
         self.dense_wait_s_by_model: Dict[str, List[float]] = {}
         self.dense_busy_s = 0.0
+        # Fault / degradation accounting (repro.faults): completed
+        # requests served partially because a shard's device was down,
+        # their total missing (bag, table) pairs, embedding rows/pages
+        # lost to uncorrectable flash reads, and SLS ops the NDP backend
+        # re-routed through the host path after an engine crash.  All
+        # stay zero under healthy operation.
+        self.degraded = 0
+        self.missing_bags = 0
+        self.uncorrectable_rows = 0.0
+        self.uncorrectable_pages = 0.0
+        self.ndp_fallbacks = 0
+        # Tail tolerance (server side): queued requests cancelled by a
+        # router timeout before dispatch.
+        self.timeout_cancels = 0
 
     # PR 2's unified stats contract: every component with counters
     # exposes ``reset_stats()``; for ServingStats it is the same window
@@ -213,6 +227,9 @@ class ServingStats:
         self.queue_delays.append(request.queue_delay)
         if request.t_emb_done >= 0:
             self.emb_latencies.append(request.t_emb_done - request.t_dispatch)
+        if request.degraded:
+            self.degraded += 1
+            self.missing_bags += request.missing_bags
         model = request.model
         self._bump(self.completed_by_model, model)
         self.latencies_by_model.setdefault(model, []).append(request.latency)

@@ -54,6 +54,9 @@ class SsdDevice:
         self.controller.ndp_engine = self.ndp
         self._qpairs: Dict[int, QueuePair] = {}
         self._next_table_lba = 0
+        # Fault-injection fail-stop flag: a down device's SLS backends
+        # report unavailable and sharded stages degrade around it.
+        self.down = False
 
     # ------------------------------------------------------------------
     # Queues

@@ -21,6 +21,8 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.engine import NdpEngineConfig
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultSpec
 from ..host.system import System, build_system
 from ..models.base import IndexSampler, RecModel
 from ..models.runner import BackendKind, required_capacity_pages
@@ -181,6 +183,9 @@ class ScenarioSpec:
     deadline_drop: bool = False
     drop_headroom_s: float = 0.0
     seed: int = 0
+    # Fault schedule (repro.faults) for this standalone server's devices.
+    # Host-scoped events are a cluster concept and are rejected here.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -189,6 +194,13 @@ class ScenarioSpec:
         if len(set(names)) != len(names):
             raise ValueError("one lane per tenant: tenant models must be unique")
         BackendKind(self.backend)  # ValueError for unknown backends
+        if self.faults is not None:
+            for event in self.faults.events:
+                if event.host is not None or event.host_scoped:
+                    raise ValueError(
+                        f"standalone scenario fault {event.kind!r}@{event.t} "
+                        f"cannot target a host — use ClusterSpec.faults"
+                    )
 
     @property
     def backend_kind(self) -> BackendKind:
@@ -295,6 +307,8 @@ def run_scenario(
         tenant.to_generator(by_name[tenant.model], seed=spec.seed + 101 * i)
         for i, tenant in enumerate(spec.tenants)
     ]
+    if spec.faults is not None:
+        FaultInjector(spec.faults).arm_server(server)
     stats = run_workload(server, generators, seed=spec.seed)
     return ScenarioResult(
         spec=spec,

@@ -1,0 +1,126 @@
+"""FaultSpec/FaultEvent validation and spec-level plumbing rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.faults import FAULT_KINDS, FaultEvent, FaultSpec
+from repro.workload import ScenarioSpec, TenantSpec
+
+
+def open_scenario(**kwargs) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="faulty",
+        tenants=(
+            TenantSpec(model="toy", arrival="open", rate=1000.0, n_requests=8),
+        ),
+        **kwargs,
+    )
+
+
+class TestFaultEvent:
+    def test_valid_kinds_construct(self):
+        for kind in FAULT_KINDS:
+            host = "host0" if kind.startswith("host_") else None
+            event = FaultEvent(t=0.5, kind=kind, host=host)
+            assert event.kind == kind
+            assert event.host_scoped == kind.startswith("host_")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(t=0.0, kind="meteor_strike")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(t=-1.0, kind="fail_slow")
+
+    def test_fail_slow_needs_inflating_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(t=0.0, kind="fail_slow", factor=1.0)
+        assert FaultEvent(t=0.0, kind="fail_slow", factor=10.0).factor == 10.0
+
+    def test_read_errors_fraction_bounds(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                FaultEvent(t=0.0, kind="read_errors", fraction=bad)
+        assert FaultEvent(t=0.0, kind="read_errors", fraction=0.5).fraction == 0.5
+
+    def test_host_kinds_require_host(self):
+        for kind in ("host_fail", "host_drain", "host_restore"):
+            with pytest.raises(ValueError, match="host"):
+                FaultEvent(t=0.0, kind=kind)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ValueError, match="device"):
+            FaultEvent(t=0.0, kind="fail_slow", device=-1)
+
+
+class TestFaultSpec:
+    def test_bool_and_hosts(self):
+        assert not FaultSpec()
+        spec = FaultSpec(
+            events=(
+                FaultEvent(t=0.1, kind="host_fail", host="host1"),
+                FaultEvent(t=0.2, kind="fail_slow", host="host0"),
+            )
+        )
+        assert spec
+        assert spec.hosts == ("host0", "host1")
+
+    def test_events_must_be_fault_events(self):
+        with pytest.raises(TypeError):
+            FaultSpec(events=("fail_slow",))
+
+
+class TestSpecPlumbing:
+    def test_scenario_rejects_host_scoped_faults(self):
+        with pytest.raises(ValueError, match="ClusterSpec"):
+            open_scenario(
+                faults=FaultSpec(
+                    events=(FaultEvent(t=0.1, kind="host_fail", host="host0"),)
+                )
+            )
+
+    def test_scenario_rejects_host_addressed_device_faults(self):
+        with pytest.raises(ValueError, match="ClusterSpec"):
+            open_scenario(
+                faults=FaultSpec(
+                    events=(FaultEvent(t=0.1, kind="fail_slow", host="host0"),)
+                )
+            )
+
+    def test_scenario_accepts_device_faults(self):
+        spec = open_scenario(
+            faults=FaultSpec(events=(FaultEvent(t=0.1, kind="fail_slow"),))
+        )
+        assert spec.faults and len(spec.faults.events) == 1
+
+    def test_cluster_rejects_faults_on_wrapped_scenario(self):
+        scenario = open_scenario(
+            faults=FaultSpec(events=(FaultEvent(t=0.1, kind="fail_slow"),))
+        )
+        with pytest.raises(ValueError, match="ClusterSpec.faults"):
+            ClusterSpec(name="bad", scenario=scenario, n_hosts=2)
+
+    def test_cluster_fault_events_must_name_known_hosts(self):
+        with pytest.raises(ValueError, match="must name a host"):
+            ClusterSpec(
+                name="anon",
+                scenario=open_scenario(),
+                n_hosts=2,
+                faults=FaultSpec(
+                    events=(FaultEvent(t=0.1, kind="fail_slow"),)
+                ),
+            )
+        with pytest.raises(ValueError, match="unknown host"):
+            ClusterSpec(
+                name="ghost",
+                scenario=open_scenario(),
+                n_hosts=2,
+                faults=FaultSpec(
+                    events=(
+                        FaultEvent(t=0.1, kind="fail_slow", host="host9"),
+                    )
+                ),
+            )

@@ -14,6 +14,7 @@ import pytest
 
 from repro.embedding.spec import Layout, TableSpec
 from repro.embedding.table import EmbeddingTable, TablePageContent
+from repro.flash.reliability import ReadRetryModel, ReliabilityConfig
 from repro.host.system import build_system
 from repro.nvme.payload import page_content_to_bytes
 
@@ -81,6 +82,62 @@ def test_read_pages_equivalence(seed, page_cache_pages):
         assert t_s == t_v
         assert content_fingerprint(c_s) == content_fingerprint(c_v)
         assert ftl_counters(sys_s) == ftl_counters(sys_v)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("fail_p", [0.05, 0.5])
+def test_read_pages_equivalence_under_read_errors(seed, fail_p):
+    """Retry latency and uncorrectable losses match scalar vs vector.
+
+    With a lossy reliability model, each page read draws retries (extra
+    cmd+tR holds on the die) or gives up past the budget (content None).
+    The batched path must consume the reliability RNG stream in the same
+    page order as the scalar cascade, so with same-seed models both
+    modes produce identical completion times, None patterns, and retry /
+    uncorrectable counters.
+    """
+    systems = []
+    for batch in (False, True):
+        # No page cache: every read reaches the flash, so the reliability
+        # stream is exercised on each page in both modes.
+        system, table = build(batch, page_cache_pages=0)
+        system.device.flash.reliability = ReadRetryModel(
+            ReliabilityConfig(
+                read_fail_probability=fail_p, max_read_retries=3, seed=77
+            )
+        )
+        systems.append((system, table))
+    (sys_s, table_s), (sys_v, _table_v) = systems
+    ftl = sys_s.device.ftl
+    base_lpn = table_s.base_lba // ftl.lbas_per_page
+    n_pages = table_s.spec.table_pages(table_s.page_bytes)
+    rng = np.random.default_rng(seed)
+    saw_loss = False
+    for _ in range(10):
+        size = int(rng.integers(2, 16))
+        lpns = (base_lpn + rng.integers(0, n_pages, size=size)).tolist()
+        t_s, c_s = read_pages_sync(sys_s, lpns)
+        t_v, c_v = read_pages_sync(sys_v, lpns)
+        assert t_s == t_v
+        prints = content_fingerprint(c_s)
+        assert prints == content_fingerprint(c_v)
+        saw_loss = saw_loss or any(p is None for p in prints)
+        assert ftl_counters(sys_s) == ftl_counters(sys_v)
+        for a, b in (
+            (sys_s.device.flash.reliability, sys_v.device.flash.reliability),
+        ):
+            assert a.reads == b.reads
+            assert a.retries == b.retries
+            assert a.uncorrectable == b.uncorrectable
+        assert (
+            sys_s.device.flash.uncorrectable_reads
+            == sys_v.device.flash.uncorrectable_reads
+        )
+    # The equivalence must have been exercised on actual failures.
+    assert sys_s.device.flash.reliability.retries > 0
+    if fail_p >= 0.5:
+        assert saw_loss
+        assert sys_s.device.flash.uncorrectable_reads > 0
 
 
 def test_read_pages_after_io_write():
