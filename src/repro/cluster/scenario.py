@@ -32,9 +32,11 @@ from ..host.system import build_system
 from ..models.base import RecModel
 from ..models.runner import required_capacity_pages
 from ..serving.server import InferenceServer
+from ..serving.updates import make_model_updatable
 from ..sim.kernel import Simulator
 from ..workload.generators import LoadGenerator, run_workload
 from ..workload.scenario import ScenarioSpec, TenantSpec
+from ..workload.updates import UpdateStream
 from .cluster import Cluster
 from .router import make_router
 from .stats import ClusterStats
@@ -197,6 +199,8 @@ class ClusterResult:
     # and the tolerance layer's retry/hedge/breaker/degradation gauges.
     fault_log: List[Dict] = field(default_factory=list)
     tolerance: Dict[str, float] = field(default_factory=dict)
+    # Update-stream gauges (empty when the scenario ran without one).
+    updates: Dict[str, float] = field(default_factory=dict)
 
     def host(self, name: str) -> Dict[str, float]:
         return self.per_host[name]
@@ -232,6 +236,11 @@ def build_cluster(
     missing = [t.model for t in scenario.tenants if t.model not in by_name]
     if missing:
         raise KeyError(f"cluster {spec.name!r} names unknown models {missing}")
+    if scenario.updates is not None:
+        # Wrap before placement: every host's replica shares the
+        # canonical data object, so one commit is fleet-visible.
+        target = scenario.updates.model or scenario.tenants[0].model
+        make_model_updatable(by_name[target])
     if sim is None:
         sim = Simulator()
     capacity = max(
@@ -340,12 +349,27 @@ def run_cluster_scenario(
     if spec.faults is not None:
         injector = FaultInjector(spec.faults)
         injector.arm_cluster(cluster)
+    update_engine = update_stream = None
+    if spec.scenario.updates is not None:
+        update_spec = spec.scenario.updates
+        target = update_spec.model or spec.scenario.tenants[0].model
+        update_engine = update_spec.make_engine(
+            [node.server for node in cluster.nodes]
+        )
+        update_stream = UpdateStream(
+            update_spec, by_name[target], seed=spec.scenario.seed
+        )
+        update_stream.schedule(cluster.sim, update_engine)
     stats = run_workload(cluster, _generators(spec, by_name), seed=spec.scenario.seed)
     if spec.tolerance is not None:
         # run_workload stops at the *logical* settle; losing hedge /
         # timed-out attempts may still hold device work — drain it so
         # per-host stats are final and the fleet ends quiescent.
         cluster.run_until_settled()
+    if update_stream is not None:
+        cluster.sim.run_until(
+            lambda: update_stream.done and update_engine.idle
+        )
     return ClusterResult(
         spec=spec,
         cluster=cluster,
@@ -357,4 +381,5 @@ def run_cluster_scenario(
         tolerance=(
             stats.tolerance_summary() if spec.tolerance is not None else {}
         ),
+        updates={} if update_engine is None else update_engine.summary(),
     )

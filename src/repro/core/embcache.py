@@ -44,6 +44,7 @@ class DirectMappedEmbeddingCache:
         self.misses = 0
         self.conflict_evictions = 0
         self.inserts = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def _slot(self, table_key: int, row: int) -> int:
@@ -192,6 +193,44 @@ class DirectMappedEmbeddingCache:
             self._values[uniq_slots] = vectors[value_src]
 
     # ------------------------------------------------------------------
+    # Invalidation (live update write-through)
+    # ------------------------------------------------------------------
+    def invalidate(self, table_key: int, row: int) -> bool:
+        """Drop ``(table, row)`` if resident; returns whether it was."""
+        if self.slots == 0 or self._occupied == 0:
+            return False
+        slot = self._slot(table_key, row)
+        if self._tag_row[slot] != row or self._tag_table[slot] != table_key:
+            return False
+        self._tag_table[slot] = -1
+        self._tag_row[slot] = -1
+        self._occupied -= 1
+        self.invalidations += 1
+        return True
+
+    def invalidate_many(self, table_key: int, rows: np.ndarray) -> int:
+        """Invalidate a batch of rows; returns how many were resident.
+
+        Direct mapping means at most one of several distinct rows
+        hashing to a slot is resident, so a vectorized unique-row tag
+        compare matches the sequential loop exactly.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        if self.slots == 0 or self._occupied == 0 or rows.size == 0:
+            return 0
+        urows = np.unique(rows)
+        slots = self._slots_of(table_key, urows)
+        mask = (self._tag_row[slots] == urows) & (self._tag_table[slots] == table_key)
+        dropped = int(np.count_nonzero(mask))
+        if dropped:
+            hit_slots = slots[mask]
+            self._tag_table[hit_slots] = -1
+            self._tag_row[hit_slots] = -1
+            self._occupied -= dropped
+            self.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
         return self._occupied
@@ -206,6 +245,7 @@ class DirectMappedEmbeddingCache:
         self.misses = 0
         self.conflict_evictions = 0
         self.inserts = 0
+        self.invalidations = 0
 
     def clear(self) -> None:
         self._tag_table.fill(-1)

@@ -54,6 +54,7 @@ class SetAssociativeLru:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def _ensure_storage(self, value: np.ndarray) -> None:
@@ -106,6 +107,30 @@ class SetAssociativeLru:
         slot = s * self.ways + w
         self._slot_of[key] = slot
         return slot
+
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` if cached (a row overwritten by a live update).
+
+        The freed way goes to the back of the set's freelist, so it is
+        the next way allocated in that set; returns whether the key was
+        resident.
+        """
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            return False
+        s, w = slot // self.ways, slot % self.ways
+        self._tags[s, w] = -1
+        self._free[s].append(w)
+        self.invalidations += 1
+        return True
+
+    def invalidate_many(self, keys: np.ndarray) -> int:
+        """Invalidate a batch; equivalent to ``invalidate`` per key, in order."""
+        dropped = 0
+        for key in np.asarray(keys, dtype=np.int64).tolist():
+            if self.invalidate(key):
+                dropped += 1
+        return dropped
 
     def record_sequential_hit(self) -> None:
         """Credit a hit that sequential execution would have produced.
@@ -235,6 +260,7 @@ class SetAssociativeLru:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     # Equivalence-test hooks (mirror the scalar reference's)
@@ -284,6 +310,7 @@ class StaticPartitionCache:
         self._sorted_to_idx = order
         self.hits = 0
         self.misses = 0
+        self.updates = 0
 
     @classmethod
     def from_profile(cls, table, trace_rows: Iterable[np.ndarray], capacity: int):
@@ -318,6 +345,24 @@ class StaticPartitionCache:
         self.misses += len(rows) - n_hit
         return mask
 
+    def update_rows(self, rows: np.ndarray, vectors: np.ndarray) -> int:
+        """Write-through for member rows: overwrite their pinned vectors.
+
+        Membership is static (profiled-hot rows stay pinned); rows not
+        in the partition are ignored.  Duplicate rows resolve in element
+        order, so the last value wins — matching a sequential loop.
+        Returns the number of member rows written.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[0] != len(rows):
+            raise ValueError("rows/vectors length mismatch")
+        pos, mask = self._positions(rows)
+        n_hit = int(mask.sum())
+        if n_hit:
+            self._vectors[self._sorted_to_idx[pos[mask]]] = vectors[mask]
+            self.updates += n_hit
+        return n_hit
+
     def vectors_for(self, rows: np.ndarray) -> np.ndarray:
         pos, mask = self._positions(rows)
         if not mask.all():
@@ -337,3 +382,4 @@ class StaticPartitionCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.updates = 0

@@ -36,6 +36,7 @@ class ScalarSetAssociativeLru:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def _set_of(self, key: int) -> "OrderedDict[int, np.ndarray]":
         return self._sets[key % self.sets]
@@ -66,6 +67,24 @@ class ScalarSetAssociativeLru:
             self.evictions += 1
         bucket[key] = value
 
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` if cached; returns whether it was resident."""
+        if self.capacity == 0:
+            return False
+        bucket = self._set_of(key)
+        if key not in bucket:
+            return False
+        del bucket[key]
+        self.invalidations += 1
+        return True
+
+    def invalidate_many(self, keys: np.ndarray) -> int:
+        dropped = 0
+        for key in np.asarray(keys, dtype=np.int64).tolist():
+            if self.invalidate(key):
+                dropped += 1
+        return dropped
+
     def record_sequential_hit(self) -> None:
         self.hits += 1
 
@@ -87,6 +106,7 @@ class ScalarSetAssociativeLru:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def contents(self) -> Dict[int, np.ndarray]:
         """Key -> value snapshot (equivalence-test hook)."""
@@ -111,6 +131,7 @@ class ScalarStaticPartitionCache:
         self._vectors = np.asarray(vectors, dtype=np.float32)
         self.hits = 0
         self.misses = 0
+        self.updates = 0
 
     def lookup(self, row: int) -> Optional[np.ndarray]:
         idx = self._index.get(row)
@@ -119,6 +140,20 @@ class ScalarStaticPartitionCache:
             return None
         self.hits += 1
         return self._vectors[idx]
+
+    def update_rows(self, rows: np.ndarray, vectors: np.ndarray) -> int:
+        """Write-through for member rows, one at a time (last write wins)."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[0] != len(rows):
+            raise ValueError("rows/vectors length mismatch")
+        written = 0
+        for i, row in enumerate(rows):
+            idx = self._index.get(int(row))
+            if idx is not None:
+                self._vectors[idx] = vectors[i]
+                written += 1
+        self.updates += written
+        return written
 
     def partition_mask(self, rows: np.ndarray) -> np.ndarray:
         mask = np.fromiter(
@@ -145,3 +180,4 @@ class ScalarStaticPartitionCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.updates = 0

@@ -14,7 +14,13 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["TableData", "DenseTableData", "VirtualTableData", "MappedTableData"]
+__all__ = [
+    "TableData",
+    "DenseTableData",
+    "VirtualTableData",
+    "MappedTableData",
+    "UpdatableTableData",
+]
 
 _STAMP_PRIME = 1_000_003
 _HASH_MULT = 2_654_435_761
@@ -80,6 +86,104 @@ class VirtualTableData(TableData):
         out = self._pool[ids % self._pool.shape[0]].copy()
         stamp = ((ids * _HASH_MULT + self.seed) % _STAMP_PRIME).astype(np.float32)
         out[:, 0] = stamp / _STAMP_PRIME - 0.5
+        return out
+
+
+class UpdatableTableData(TableData):
+    """A committed-state overlay making any base table data writable.
+
+    Live embedding updates commit here at their simulated apply instant:
+    ``apply`` records the new raw (pre-quantization) row vectors and
+    every subsequent ``get_rows`` — from the host reference, the virtual
+    page contents on flash, the device page cache and the NDP translate
+    path, all of which read through the table's data object — returns
+    the updated values.  Device page writes then proceed asynchronously
+    purely for timing/aging; coherence never depends on them.
+
+    Replicas share the wrapped object and row shards read through it
+    via :class:`MappedTableData`, so one ``apply`` on the primary is
+    visible everywhere.  ``vectorized=False`` switches to a dict-backed
+    per-row reference implementation (for the scalar-vs-vector hot-path
+    equivalence test); both modes are last-write-wins within a batch.
+    """
+
+    def __init__(self, base: TableData, vectorized: bool = True):
+        self.base = base
+        self.rows = base.rows
+        self.dim = base.dim
+        self.vectorized = vectorized
+        # Sorted overlay: _ids ascending, _vals the committed vectors.
+        self._ids = np.empty(0, dtype=np.int64)
+        self._vals = np.empty((0, self.dim), dtype=np.float32)
+        self._overlay: dict = {}
+        self.updates_applied = 0
+        self.rows_written = 0
+
+    @property
+    def overlay_rows(self) -> int:
+        """Distinct rows currently overridden by updates."""
+        if not self.vectorized:
+            return len(self._overlay)
+        return int(self._ids.size)
+
+    def written_ids(self) -> np.ndarray:
+        """Ascending global ids of every row ever updated."""
+        if not self.vectorized:
+            return np.asarray(sorted(self._overlay), dtype=np.int64)
+        return self._ids.copy()
+
+    def apply(self, ids: np.ndarray, values: np.ndarray) -> int:
+        """Commit one update batch (last write wins); returns distinct rows."""
+        ids = self._check_ids(ids)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (ids.size, self.dim):
+            raise ValueError(
+                f"values must be [{ids.size}, {self.dim}], got {values.shape}"
+            )
+        if ids.size == 0:
+            return 0
+        self.updates_applied += 1
+        if not self.vectorized:
+            distinct = len({int(g) for g in ids})
+            for i in range(ids.size):
+                self._overlay[int(ids[i])] = values[i].copy()
+            self.rows_written += distinct
+            return distinct
+        # Last-write-wins dedupe: the first occurrence in the reversed
+        # batch is the last write in batch order.
+        uids, rev_first = np.unique(ids[::-1], return_index=True)
+        take = ids.size - 1 - rev_first
+        uvals = values[take]
+        pos = np.searchsorted(self._ids, uids)
+        if self._ids.size:
+            clipped = np.minimum(pos, self._ids.size - 1)
+            present = self._ids[clipped] == uids
+        else:
+            present = np.zeros(uids.size, dtype=bool)
+        if present.any():
+            self._vals[pos[present]] = uvals[present]
+        new = ~present
+        if new.any():
+            self._ids = np.insert(self._ids, pos[new], uids[new])
+            self._vals = np.insert(self._vals, pos[new], uvals[new], axis=0)
+        self.rows_written += int(uids.size)
+        return int(uids.size)
+
+    def get_rows(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        out = self.base.get_rows(ids)
+        if not self.vectorized:
+            for i in range(ids.size):
+                vec = self._overlay.get(int(ids[i]))
+                if vec is not None:
+                    out[i] = vec
+            return out
+        if self._ids.size and ids.size:
+            pos = np.searchsorted(self._ids, ids)
+            clipped = np.minimum(pos, self._ids.size - 1)
+            hit = self._ids[clipped] == ids
+            if hit.any():
+                out[hit] = self._vals[pos[hit]]
         return out
 
 

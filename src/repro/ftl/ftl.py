@@ -449,6 +449,8 @@ class GreedyFtl:
         self.flash_page_reads = 0
         self.write_stalls = 0
         self.page_cache.reset_stats()
+        self.gc.reset_stats()
+        self.wear.reset_stats()
 
     # ------------------------------------------------------------------
     @property

@@ -30,6 +30,13 @@ class GarbageCollector:
         self.blocks_reclaimed = 0
         self.stalls = 0
 
+    def reset_stats(self) -> None:
+        """Clear the GC gauges benchmarks read (not collection state)."""
+        self.runs = 0
+        self.pages_moved = 0
+        self.blocks_reclaimed = 0
+        self.stalls = 0
+
     # ------------------------------------------------------------------
     def maybe_collect(self, die: int) -> None:
         if self._active[die]:

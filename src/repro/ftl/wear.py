@@ -27,6 +27,11 @@ class WearLeveler:
         self.checks = 0
         self._busy = False
 
+    def reset_stats(self) -> None:
+        """Clear the wear gauges benchmarks read (not migration state)."""
+        self.migrations = 0
+        self.checks = 0
+
     # ------------------------------------------------------------------
     def check(self) -> None:
         """Trigger a migration if the wear spread exceeds the threshold."""

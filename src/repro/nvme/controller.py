@@ -21,7 +21,12 @@ from .commands import (
     Opcode,
     Status,
 )
-from .payload import ReadPayload, ReadSegment, page_content_to_bytes
+from .payload import (
+    PageImagePayload,
+    ReadPayload,
+    ReadSegment,
+    page_content_to_bytes,
+)
 from .pcie import PcieLink
 from .queues import QueuePair
 
@@ -178,6 +183,9 @@ class NvmeController:
         if cmd.slba + cmd.nlb > self.ftl.logical_lbas:
             self.complete(qp, cmd, None, Status.LBA_OUT_OF_RANGE)
             return
+        if isinstance(cmd.data, PageImagePayload):
+            self._do_write_images(qp, cmd)
+            return
         data = np.asarray(cmd.data, dtype=np.uint8).reshape(-1)
         total_bytes = cmd.nlb * lba_bytes
         if data.size != total_bytes:
@@ -187,6 +195,40 @@ class NvmeController:
 
         def after_data() -> None:
             self._write_pages(qp, cmd, data)
+
+        self.pcie.to_device(total_bytes, after_data)
+
+    def _do_write_images(self, qp: QueuePair, cmd: NvmeCommand) -> None:
+        """Whole-page writes carrying content objects instead of bytes.
+
+        The host pays the same wire transfer as a byte write of the same
+        span; the FTL then programs each page with the carried content
+        (virtual table pages stay read-through after the rewrite).
+        """
+        payload: PageImagePayload = cmd.data
+        lba_bytes = self.ftl.config.lba_bytes
+        lbas_per_page = self.ftl.lbas_per_page
+        total_bytes = cmd.nlb * lba_bytes
+        if (
+            cmd.slba % lbas_per_page != 0
+            or cmd.nlb != len(payload.contents) * lbas_per_page
+            or payload.nbytes != total_bytes
+        ):
+            self.complete(qp, cmd, None, Status.INVALID_FIELD)
+            return
+        self.writes_served += 1
+        base_lpn = cmd.slba // lbas_per_page
+        remaining = len(payload.contents)
+
+        def page_written() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self.complete(qp, cmd, None)
+
+        def after_data() -> None:
+            for i, content in enumerate(payload.contents):
+                self.ftl.write_page(base_lpn + i, content, page_written)
 
         self.pcie.to_device(total_bytes, after_data)
 

@@ -14,7 +14,12 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-__all__ = ["ReadSegment", "ReadPayload", "page_content_to_bytes"]
+__all__ = [
+    "ReadSegment",
+    "ReadPayload",
+    "PageImagePayload",
+    "page_content_to_bytes",
+]
 
 
 def page_content_to_bytes(content: Any, page_bytes: int) -> np.ndarray:
@@ -42,6 +47,22 @@ class ReadSegment:
     lpn: int
     content: Any
     offset: int
+    nbytes: int
+
+
+@dataclass
+class PageImagePayload:
+    """Full-page write images carried by reference, one content per LPN.
+
+    The IO write path normally carries raw bytes; live embedding updates
+    instead ship fresh virtual page contents (``TablePageContent``) so a
+    rewritten page keeps reading through the table's committed data
+    while the device pays the full transfer + program costs.  The write
+    command's SLBA must be page-aligned and span exactly
+    ``len(contents)`` pages; ``nbytes`` is the modelled wire size.
+    """
+
+    contents: List[Any]
     nbytes: int
 
 

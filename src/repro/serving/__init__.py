@@ -71,8 +71,12 @@ from .sharding import (
     TableShardPolicy,
 )
 from .stats import ServingStats
+from .updates import EmbeddingUpdateEngine, age_device, make_model_updatable
 
 __all__ = [
+    "EmbeddingUpdateEngine",
+    "age_device",
+    "make_model_updatable",
     "AdmissionConfig",
     "REASON_CAPACITY",
     "REASON_DEADLINE",

@@ -126,6 +126,20 @@ class ServingStats:
         # Tail tolerance (server side): queued requests cancelled by a
         # router timeout before dispatch.
         self.timeout_cancels = 0
+        # Live embedding updates (repro.serving.updates): commit batches
+        # applied against this server's registrations, distinct rows
+        # committed, cache entries invalidated / written through, device
+        # page writes issued and completed (with per-write latencies),
+        # and writes the throttled policy deferred behind reads.  All
+        # stay zero for read-only scenarios.
+        self.update_batches = 0
+        self.update_rows = 0
+        self.update_invalidations = 0
+        self.update_partition_writes = 0
+        self.update_pages_written = 0
+        self.update_writes_completed = 0
+        self.update_write_latencies: List[float] = []
+        self.update_writes_deferred = 0
 
     # PR 2's unified stats contract: every component with counters
     # exposes ``reset_stats()``; for ServingStats it is the same window
@@ -332,6 +346,21 @@ class ServingStats:
             # worker / a host SLS worker (0.0 with unbounded pools).
             "mean_dense_wait_ms": mean_ms(self.dense_wait_s),
             "mean_sls_wait_ms": mean_ms(self.sls_wait_s),
+        }
+
+    def update_summary(self) -> Dict[str, float]:
+        """Live-update gauges (separate from :meth:`summary`, whose key
+        set is pinned by the serving golden).  All zeros for read-only
+        scenarios."""
+        return {
+            "update_batches": float(self.update_batches),
+            "update_rows": float(self.update_rows),
+            "update_invalidations": float(self.update_invalidations),
+            "update_partition_writes": float(self.update_partition_writes),
+            "update_pages_written": float(self.update_pages_written),
+            "update_writes_completed": float(self.update_writes_completed),
+            "update_writes_deferred": float(self.update_writes_deferred),
+            "mean_update_write_ms": mean_ms(self.update_write_latencies),
         }
 
     def lane_summary(self) -> Dict[str, Dict[str, float]]:

@@ -46,8 +46,11 @@ from .scenario import (
     run_scenario,
     tenant_samplers,
 )
+from .updates import UpdateStream, UpdateStreamSpec
 
 __all__ = [
+    "UpdateStream",
+    "UpdateStreamSpec",
     "ArrivalTrace",
     "poisson_gaps",
     "uniform_gaps",

@@ -27,9 +27,11 @@ from ..host.system import System, build_system
 from ..models.base import IndexSampler, RecModel
 from ..models.runner import BackendKind, required_capacity_pages
 from ..serving import AdmissionConfig, InferenceServer, ServingConfig, ServingStats
+from ..serving.updates import make_model_updatable
 from ..traces.locality import LocalityTraceGenerator
 from ..traces.powerlaw import ZipfTraceGenerator
 from .arrivals import ArrivalTrace
+from .updates import UpdateStream, UpdateStreamSpec
 from .generators import (
     ClosedLoopGenerator,
     LoadGenerator,
@@ -186,6 +188,10 @@ class ScenarioSpec:
     # Fault schedule (repro.faults) for this standalone server's devices.
     # Host-scoped events are a cluster concept and are rejected here.
     faults: Optional[FaultSpec] = None
+    # Live embedding update stream (repro.workload.updates) interleaved
+    # with the tenants' read traffic.  None keeps the read-only timeline
+    # bit-identical to the pre-update implementation.
+    updates: Optional[UpdateStreamSpec] = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -194,6 +200,12 @@ class ScenarioSpec:
         if len(set(names)) != len(names):
             raise ValueError("one lane per tenant: tenant models must be unique")
         BackendKind(self.backend)  # ValueError for unknown backends
+        if self.updates is not None and self.updates.model is not None:
+            if self.updates.model not in names:
+                raise ValueError(
+                    f"update stream targets {self.updates.model!r} but the "
+                    f"scenario's tenants are {names}"
+                )
         if self.faults is not None:
             for event in self.faults.events:
                 if event.host is not None or event.host_scoped:
@@ -249,6 +261,9 @@ class ScenarioResult:
     stats: ServingStats
     summary: Dict[str, float]
     lanes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Update-stream gauges (EmbeddingUpdateEngine.summary()); empty when
+    # the scenario ran without an update stream.
+    updates: Dict[str, float] = field(default_factory=dict)
 
     def lane(self, model: str) -> Dict[str, float]:
         return self.lanes[model]
@@ -287,6 +302,12 @@ def run_scenario(
     missing = [t.model for t in spec.tenants if t.model not in by_name]
     if missing:
         raise KeyError(f"scenario {spec.name!r} names unknown models {missing}")
+    update_target: Optional[str] = None
+    if spec.updates is not None:
+        update_target = spec.updates.model or spec.tenants[0].model
+        # Wrap before registration: replicas and row shards share the
+        # canonical data object, so the overlay propagates everywhere.
+        make_model_updatable(by_name[update_target])
     if system is None:
         capacity = max(
             required_capacity_pages(by_name[t.model]) for t in spec.tenants
@@ -309,11 +330,25 @@ def run_scenario(
     ]
     if spec.faults is not None:
         FaultInjector(spec.faults).arm_server(server)
+    update_engine = update_stream = None
+    if spec.updates is not None:
+        update_engine = spec.updates.make_engine(server)
+        update_stream = UpdateStream(
+            spec.updates, by_name[update_target], seed=spec.seed
+        )
+        update_stream.schedule(server.sim, update_engine)
     stats = run_workload(server, generators, seed=spec.seed)
+    if update_stream is not None:
+        # Reads settled first; commit any update batches scheduled past
+        # the last read and let the device writes drain.
+        server.sim.run_until(
+            lambda: update_stream.done and update_engine.idle
+        )
     return ScenarioResult(
         spec=spec,
         server=server,
         stats=stats,
         summary=stats.summary(),
         lanes=stats.lane_summary(),
+        updates={} if update_engine is None else update_engine.summary(),
     )

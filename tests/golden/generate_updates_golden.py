@@ -1,0 +1,30 @@
+"""Regenerate ``updates_golden.json`` from the current implementation.
+
+Run this ONLY on a commit whose update path is trusted (the baseline was
+first recorded on the live-updates PR, whose zero-update configuration
+is oracle-checked bit-identical to the serving golden):
+
+    PYTHONPATH=src python -m tests.golden.generate_updates_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .updates_scenarios import SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent / "updates_golden.json"
+
+
+def main() -> None:
+    golden = {}
+    for name, fn in SCENARIOS.items():
+        print(f"recording {name} ...")
+        golden[name] = fn()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Fixed-seed live-update scenarios with fully recorded outcomes.
+
+``updates_golden.json`` pins the update-enabled serving timeline the way
+``serving_golden.json`` pins the read-only one: for fixed seeds it
+records the read-side latency summary, the update engine's accounting
+(pages written, deferrals, mean device-write latency), the exact commit
+*timestamps* of every update batch, and the exact post-run *values* of
+the rewritten rows plus whole-table checksums.  Everything is simulated
+deterministic arithmetic; the golden test compares exactly.
+
+The same module also exports :func:`mixed_spec`, the golden-mixed read
+scenario parameterized over its ``updates`` field — the zero-update
+oracle (``tests/serving/test_updates_golden.py``) runs it with
+``updates=None`` and demands bit-identity with the *serving* golden,
+proving the update plumbing is invisible until a stream is configured.
+
+Regenerate (ONLY on a commit whose update path is trusted) with:
+
+    PYTHONPATH=src python -m tests.golden.generate_updates_golden
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.workload import (
+    ScenarioSpec,
+    TenantSpec,
+    UpdateStream,
+    UpdateStreamSpec,
+    run_scenario,
+)
+
+from ..serving.conftest import toy_model
+from .serving_scenarios import SUMMARY_KEYS
+
+__all__ = ["SCENARIOS", "mixed_spec"]
+
+
+def mixed_spec(updates: Optional[UpdateStreamSpec], backend: str = "ndp") -> ScenarioSpec:
+    """The golden-mixed serving scenario, updates field injectable."""
+    return ScenarioSpec(
+        name="golden-mixed",
+        tenants=(
+            TenantSpec(
+                model="hi",
+                arrival="open",
+                rate=2500.0,
+                n_requests=24,
+                batch_size=2,
+                slo_s=0.02,
+                priority=1,
+            ),
+            TenantSpec(
+                model="lo",
+                arrival="closed",
+                num_clients=4,
+                requests_per_client=4,
+                think_time_s=0.002,
+                batch_size=2,
+                slo_s=0.05,
+            ),
+        ),
+        backend=backend,
+        max_inflight_requests=32,
+        max_batch_requests=4,
+        deadline_drop=True,
+        drop_headroom_s=0.004,
+        seed=17,
+        updates=updates,
+    )
+
+
+def _mixed_models():
+    return [toy_model("hi", seed=1), toy_model("lo", seed=2)]
+
+
+def _record(spec: ScenarioSpec, models) -> Dict[str, Any]:
+    result = run_scenario(spec, models)
+    target = spec.updates.model or spec.tenants[0].model
+    model = next(m for m in models if m.name == target)
+    # Re-draw the (fully deterministic) stream to learn which rows each
+    # batch touched, then read the *post-run* values back out of the
+    # canonical tables: values and timestamps, pinned exactly.
+    stream = UpdateStream(spec.updates, model, seed=spec.seed)
+    touched: Dict[str, set] = {}
+    for table_name, rows in zip(stream.tables, stream.rows):
+        touched.setdefault(table_name, set()).update(int(r) for r in rows)
+    tables: Dict[str, Any] = {}
+    for name, table in model.tables.items():
+        all_rows = np.arange(table.spec.rows, dtype=np.int64)
+        checksum = float(np.sum(table.get_rows(all_rows), dtype=np.float64))
+        rows = sorted(touched.get(name, ()))
+        values = (
+            table.get_rows(np.asarray(rows, dtype=np.int64)) if rows else
+            np.zeros((0, table.spec.dim), np.float32)
+        )
+        tables[name] = {
+            "checksum": checksum,
+            "touched_rows": rows,
+            "touched_values": [[float(v) for v in row] for row in values],
+        }
+    return {
+        "summary": {key: result.summary[key] for key in SUMMARY_KEYS},
+        "updates": result.updates,
+        "commit_offsets": [float(t) for t in stream.offsets],
+        "tables": tables,
+    }
+
+
+def ndp_interleaved_updates() -> Dict[str, Any]:
+    """Naive interleaving on the NDP backend: writes land at commit time
+    and the partition caches are written through."""
+    spec = mixed_spec(
+        UpdateStreamSpec(
+            rate=2000.0,
+            n_updates=12,
+            rows_per_update=16,
+            zipf_alpha=1.2,
+            policy="interleave",
+        )
+    )
+    return _record(spec, _mixed_models())
+
+
+def ssd_throttled_updates() -> Dict[str, Any]:
+    """Throttled write lane on the SSD backend: host LRU invalidation
+    plus gap/defer scheduling behind the read traffic."""
+    spec = mixed_spec(
+        UpdateStreamSpec(
+            rate=1500.0,
+            n_updates=10,
+            rows_per_update=32,
+            model="hi",
+            policy="throttled",
+            min_gap_s=100e-6,
+            defer_s=150e-6,
+            max_defer_s=2e-3,
+        ),
+        backend="ssd",
+    )
+    return _record(spec, _mixed_models())
+
+
+SCENARIOS = {
+    "ndp_interleaved_updates": ndp_interleaved_updates,
+    "ssd_throttled_updates": ssd_throttled_updates,
+}

@@ -32,10 +32,13 @@ def test_lru_reset_clears_all_counters_keeps_contents():
         cache.insert(k, vec(k))
     cache.lookup(7)
     cache.lookup(100)
+    cache.invalidate(7)
     assert cache.hits and cache.misses and cache.evictions
+    assert cache.invalidations == 1
     occupancy = cache.occupancy
     cache.reset_stats()
     assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+    assert cache.invalidations == 0
     assert cache.hit_rate == 0.0
     assert cache.occupancy == occupancy  # contents survive, stats don't
 
@@ -43,8 +46,14 @@ def test_lru_reset_clears_all_counters_keeps_contents():
 def test_partition_reset():
     part = StaticPartitionCache(np.array([1, 2]), np.zeros((2, 4), np.float32))
     part.partition_mask(np.array([1, 9]))
+    part.update_rows(np.array([1]), np.ones((1, 4), np.float32))
+    assert part.updates == 1
     part.reset_stats()
-    assert (part.hits, part.misses) == (0, 0)
+    assert (part.hits, part.misses, part.updates) == (0, 0, 0)
+    # The written-through value itself survives the stats reset.
+    assert np.array_equal(
+        part.vectors_for(np.array([1])), np.ones((1, 4), np.float32)
+    )
 
 
 def test_page_cache_reset_clears_all_counters():
@@ -70,10 +79,14 @@ def test_embcache_reset_clears_all_counters():
     cache.insert(0, 2, vec(2))    # conflict eviction
     cache.lookup(0, 2)
     cache.lookup(0, 1)
+    cache.invalidate(0, 2)
+    cache.insert(0, 2, vec(2))
+    assert cache.invalidations == 1
     cache.reset_stats()
     assert (cache.hits, cache.misses, cache.conflict_evictions, cache.inserts) == (
         0, 0, 0, 0,
     )
+    assert cache.invalidations == 0
     assert cache.occupancy == 1   # contents survive
 
 
@@ -96,6 +109,15 @@ def test_serving_stats_reset():
     stats.record_dispatch([req])
     stats.record_completion(req)
     assert stats.completed == 1 and stats.latencies
+    # Live-update gauges are part of the same reset surface.
+    stats.update_batches = 3
+    stats.update_rows = 40
+    stats.update_invalidations = 5
+    stats.update_partition_writes = 6
+    stats.update_pages_written = 7
+    stats.update_writes_completed = 7
+    stats.update_writes_deferred = 2
+    stats.update_write_latencies.append(0.001)
     stats.reset()
     assert stats.submitted == 0
     assert stats.completed == 0
@@ -106,9 +128,38 @@ def test_serving_stats_reset():
     assert stats.first_arrival is None and stats.last_completion is None
     assert stats.requests_per_batch.count == 0
     assert stats.throughput_rps() == 0.0
+    assert stats.update_batches == 0
+    assert stats.update_rows == 0
+    assert stats.update_invalidations == 0
+    assert stats.update_partition_writes == 0
+    assert stats.update_pages_written == 0
+    assert stats.update_writes_completed == 0
+    assert stats.update_writes_deferred == 0
+    assert stats.update_write_latencies == []
+    assert all(v == 0.0 for v in stats.update_summary().values())
     # In-flight tracking carries across the reset window.
     assert stats.inflight == 0
     assert stats.max_inflight == 0
+
+
+def test_ftl_reset_covers_write_gc_and_wear_gauges():
+    """``ftl.reset_stats()`` is the one call benchmarks make between the
+    aging warm-up and the measured window: it must clear the write-path
+    counters and the GC/wear gauges the update benchmarks read."""
+    system = build_system(min_capacity_pages=1 << 16)
+    ftl = system.device.ftl
+    ftl.host_page_writes = 9
+    ftl.write_stalls = 2
+    ftl.gc.runs = 4
+    ftl.gc.pages_moved = 100
+    ftl.gc.stalls = 1
+    ftl.wear.migrations = 3
+    ftl.wear.checks = 11
+    ftl.reset_stats()
+    assert ftl.host_page_writes == 0
+    assert ftl.write_stalls == 0
+    assert (ftl.gc.runs, ftl.gc.pages_moved, ftl.gc.stalls) == (0, 0, 0)
+    assert (ftl.wear.migrations, ftl.wear.checks) == (0, 0)
 
 
 def test_benchmark_window_does_not_inherit_warmup():

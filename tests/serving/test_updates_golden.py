@@ -1,0 +1,60 @@
+"""Update-path refactors must not silently shift values OR timing.
+
+``updates_golden.json`` pins the update-enabled serving timeline for
+fixed seeds: commit timestamps, post-run row values (quantization
+round-tripped through the canonical tables), whole-table checksums, the
+engine's write accounting and the read-side latency summary.  Replaying
+the scenarios must reproduce every number exactly; a legitimate model
+change regenerates the file (``python -m
+tests.golden.generate_updates_golden``) in the same PR that explains the
+shift.
+
+The zero-update oracle closes the loop the other way: the golden-mixed
+scenario run with ``updates=None`` must stay *bit-identical* to the
+entry recorded in ``serving_golden.json`` before the update path
+existed — configuring no stream buys back the exact read-only timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from ..golden.serving_scenarios import _record as record_serving
+from ..golden.updates_scenarios import SCENARIOS, mixed_spec
+from .test_serving_golden import _assert_matches
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "updates_golden.json"
+SERVING_GOLDEN_PATH = GOLDEN_DIR / "serving_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_update_scenario_matches_golden(name, golden):
+    assert name in golden, f"regenerate golden file (missing {name})"
+    _assert_matches(name, golden[name], SCENARIOS[name]())
+
+
+def test_zero_update_stream_is_bit_identical_to_serving_golden():
+    """``updates=None`` through the update-aware ``run_scenario`` must
+    reproduce the pre-update serving golden exactly — values, lanes,
+    shed reasons and host gauges."""
+    from repro.workload import run_scenario
+
+    from ..serving.conftest import toy_model
+
+    spec = mixed_spec(updates=None)
+    result = run_scenario(
+        spec, [toy_model("hi", seed=1), toy_model("lo", seed=2)]
+    )
+    assert result.updates == {}
+    recorded = json.loads(SERVING_GOLDEN_PATH.read_text())
+    expected = recorded["mixed_tenants_default_pools"]
+    _assert_matches("zero-update-oracle", expected, record_serving(result))

@@ -30,11 +30,14 @@ def test_ci_runs_the_same_tier1_command():
 
 
 def test_ci_coverage_job_enforces_serving_floor():
-    """The coverage job measures src/repro/serving/ and src/repro/cluster/
-    with a >=85% floor and uploads the report as an artifact."""
+    """The coverage job measures the serving tiers — including the
+    live-update write path's workload and FTL halves — with a >=85%
+    floor and uploads the report as an artifact."""
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
     assert "--cov=repro.serving" in ci
     assert "--cov=repro.cluster" in ci
+    assert "--cov=repro.workload" in ci
+    assert "--cov=repro.ftl" in ci
     assert "--cov-fail-under=85" in ci
     assert "upload-artifact" in ci
 
@@ -45,6 +48,15 @@ def test_ci_runs_cluster_bench_smoke():
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
     assert "benchmarks/bench_cluster.py --smoke" in ci
     assert "BENCH_cluster.json" in ci
+
+
+def test_ci_runs_updates_bench_smoke():
+    """The live-update interference contract (p99 degrades under naive
+    interleaving, off-peak batching recovers it) runs on every push."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "benchmarks/bench_updates.py --smoke" in ci
+    assert "BENCH_updates.json" in ci
+    assert "p99_recovered_x" in ci
 
 
 def test_pyproject_declares_slow_marker_and_cov_extra():
