@@ -449,12 +449,21 @@ class Cluster:
         if self.tolerance is not None:
             call = _Call(self, model_name, batch, key, on_done, deadline)
             return call.start()
+        tracer = self.sim.tracer
         if not any(node.routable for node in nodes):
             request = self._router_reject(model_name, batch, on_done)
+            if tracer is not None:
+                # Pure list append on the tracer — routing stays
+                # zero-event / zero-RNG with tracing on.
+                tracer.event(
+                    "route", model=model_name, key=key, host=None, rejected=True
+                )
             if request.on_done is not None:
                 request.on_done(request)
             return request
         node = self.router.route(key, model_name, nodes)
+        if tracer is not None:
+            tracer.event("route", model=model_name, key=key, host=node.name)
         return node.server.submit(
             model_name, batch, on_done=on_done, deadline=deadline
         )

@@ -321,6 +321,7 @@ def _user_generator(
 def run_cluster_scenario(
     spec: ClusterSpec,
     models: Union[Sequence[RecModel], Mapping[str, RecModel]],
+    tracer=None,
 ) -> ClusterResult:
     """Build, run and summarize one fleet scenario end-to-end.
 
@@ -329,6 +330,10 @@ def run_cluster_scenario(
     the standard :func:`~repro.workload.generators.run_workload` loop
     drives the cluster front-end exactly as it would a single server.
     Deterministic for a fixed ``spec.scenario.seed``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is installed on the shared
+    kernel before any traffic; spans observe the run without perturbing
+    it, so results are bit-identical with or without one.
     """
     by_name = (
         dict(models)
@@ -336,6 +341,8 @@ def run_cluster_scenario(
         else {model.name: model for model in models}
     )
     cluster = build_cluster(spec, by_name)
+    if tracer is not None:
+        tracer.install(cluster.sim)
     for event in spec.host_events:
         action = {
             "drain": cluster.drain,

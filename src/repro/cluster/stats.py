@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.resettable import register_resettable
 from ..serving.request import InferenceRequest
 from ..serving.stats import mean_ms
 from ..sim.stats import rank_quantile, summarize_latencies
@@ -55,6 +56,7 @@ class ClusterStats:
         # formula would overcount the workload's stop predicate.
         self.tolerance_active = False
         self.reset()
+        register_resettable(self)
 
     def reset(self) -> None:
         """Discard the cluster-level window (router rejections plus the

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs.resettable import register_resettable
 from .vecops import group_slices
 
 __all__ = ["DirectMappedEmbeddingCache"]
@@ -45,6 +46,7 @@ class DirectMappedEmbeddingCache:
         self.conflict_evictions = 0
         self.inserts = 0
         self.invalidations = 0
+        register_resettable(self)
 
     # ------------------------------------------------------------------
     def _slot(self, table_key: int, row: int) -> int:

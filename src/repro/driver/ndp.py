@@ -72,17 +72,29 @@ class NdpSlsSession:
         submit_time = self.driver.sim.now
         config_nlb = self.driver.nlb_for_bytes(config.encoded_bytes)
         result_nlb = self.driver.nlb_for_bytes(config.result_bytes)
+        # The result read is issued from the config write's completion
+        # callback, where the tracer's span stack is empty — capture the
+        # caller's span (the backend's sls_op) now so both command halves
+        # parent under the same op.
+        tracer = self.driver.sim.tracer
+        op_span = tracer.current if tracer is not None else None
 
         def config_done(cpl) -> None:
             if not cpl.ok:
                 self._inflight_rids.discard(rid)
                 raise NdpError(f"SLS config write failed: {cpl.status}")
-            self.driver.submit(
-                NvmeCommand(
-                    opcode=Opcode.READ, slba=slba, nlb=result_nlb, ndp=True
-                ),
-                result_done,
+            tracer = self.driver.sim.tracer
+            cmd = NvmeCommand(
+                opcode=Opcode.READ, slba=slba, nlb=result_nlb, ndp=True
             )
+            if tracer is not None and op_span is not None:
+                tracer.push(op_span)
+                try:
+                    self.driver.submit(cmd, result_done)
+                finally:
+                    tracer.pop()
+            else:
+                self.driver.submit(cmd, result_done)
 
         config_done_time = {"t": 0.0}
 

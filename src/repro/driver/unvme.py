@@ -57,6 +57,10 @@ class UnvmeDriver:
         ]
         self._callbacks: Dict[int, tuple[CompletionCallback, QueuePair]] = {}
         self._backlog: Deque[tuple[NvmeCommand, CompletionCallback]] = deque()
+        # Open ``nvme.cmd`` spans by cid (tracing only; empty otherwise).
+        # Completion delivery only sees the cid, so the span handle has
+        # to survive the submit -> deliver gap here.
+        self._cmd_spans: Dict[int, object] = {}
         self._rr = 0
         for qp in self._qpairs:
             qp.cq.set_notify(self._on_cq_post)
@@ -68,6 +72,22 @@ class UnvmeDriver:
     # ------------------------------------------------------------------
     def submit(self, cmd: NvmeCommand, on_done: CompletionCallback) -> None:
         """Issue ``cmd``; queues locally when every qpair is at full depth."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Begins at submit, so driver-side backlog queueing is part
+            # of the command's span; ends at completion delivery.  The
+            # handle also rides on the command so the controller can
+            # parent FTL work under it.
+            span = tracer.begin(
+                "nvme.cmd",
+                opcode=cmd.opcode.name,
+                cid=cmd.cid,
+                slba=cmd.slba,
+                nlb=cmd.nlb,
+                ndp=cmd.ndp,
+            )
+            self._cmd_spans[cmd.cid] = span
+            cmd.obs_span = span
         qp = self._pick_qpair()
         if qp is None:
             self._backlog.append((cmd, on_done))
@@ -114,6 +134,12 @@ class UnvmeDriver:
     def _deliver(self, qp: QueuePair, cpl: NvmeCompletion) -> None:
         qp.outstanding -= 1
         entry = self._callbacks.pop(cpl.cid, None)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            span = self._cmd_spans.pop(cpl.cid, None)
+            if span is not None:
+                span.attrs["status"] = cpl.status.name
+                tracer.end(span)
         self._drain_backlog()
         if entry is None:
             raise RuntimeError(f"completion for unknown cid {cpl.cid}")

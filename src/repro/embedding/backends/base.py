@@ -72,11 +72,31 @@ class SlsBackend(ABC):
         if self.inflight > self.max_inflight:
             self.max_inflight = self.inflight
 
+        # Observability choke point: every backend kind (dram, ssd, ndp)
+        # funnels through here, so one ``sls_op`` span covers them all.
+        # The span stays pushed for the synchronous part of ``_start``,
+        # parenting any NVMe commands the backend issues inline.
+        tracer = self.system.sim.tracer
+        op_span = None
+        if tracer is not None:
+            op_span = tracer.begin(
+                "sls_op", backend=type(self).__name__, bags=len(bags)
+            )
+
         def finished(result: SlsOpResult) -> None:
+            if op_span is not None:
+                tracer.end(op_span)
             self.inflight -= 1
             on_done(result)
 
-        self._start(bags, finished)
+        if op_span is not None:
+            tracer.push(op_span)
+            try:
+                self._start(bags, finished)
+            finally:
+                tracer.pop()
+        else:
+            self._start(bags, finished)
 
     @abstractmethod
     def _start(

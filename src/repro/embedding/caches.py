@@ -22,6 +22,8 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..obs.resettable import register_resettable
+
 __all__ = ["SetAssociativeLru", "StaticPartitionCache", "profile_hot_rows"]
 
 
@@ -55,6 +57,7 @@ class SetAssociativeLru:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        register_resettable(self)
 
     # ------------------------------------------------------------------
     def _ensure_storage(self, value: np.ndarray) -> None:
@@ -311,6 +314,7 @@ class StaticPartitionCache:
         self.hits = 0
         self.misses = 0
         self.updates = 0
+        register_resettable(self)
 
     @classmethod
     def from_profile(cls, table, trace_rows: Iterable[np.ndarray], capacity: int):

@@ -111,6 +111,15 @@ class FaultInjector:
         handler = getattr(self, f"_do_{event.kind}")
         detail = handler(event, target)
         self.stats.record(sim.now, event, detail)
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.event(
+                "fault",
+                kind=event.kind,
+                host=event.host,
+                device=event.device,
+                detail=repr(detail) if detail is not None else None,
+            )
 
     # -- device timing --------------------------------------------------
     def _do_fail_slow(self, event: FaultEvent, server) -> object:

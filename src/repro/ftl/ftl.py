@@ -15,6 +15,7 @@ from typing import Any, Callable, Iterable, Optional
 import numpy as np
 
 from ..flash.array import FlashArray
+from ..obs.resettable import register_resettable
 from ..sim.kernel import Simulator
 from .blocks import BlockManager, OutOfSpaceError
 from .cpu import FtlCpu, FtlCpuCosts
@@ -84,6 +85,10 @@ class GreedyFtl:
         # In-flight program count per block: a block with queued programs
         # must not be erased (the die would reorder erase before program).
         self._inflight_programs: dict[int, int] = {}
+        # One reset surface for every benchmark window (repro.obs):
+        # ftl.reset_stats() cascades to page_cache/gc/wear, so only the
+        # FTL itself registers.
+        register_resettable(self)
 
     # ------------------------------------------------------------------
     # Derived geometry helpers

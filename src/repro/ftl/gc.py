@@ -79,15 +79,24 @@ class GarbageCollector:
         self.ftl.migrating_blocks.add(victim)
         lpns = self.ftl.mapping.valid_lpns_in_block(victim)
         remaining = len(lpns)
+        tracer = self.ftl.sim.tracer
+        span = None
+        if tracer is not None:
+            # One span per victim block: valid-page relocation through
+            # the erase that reclaims it — the die time GC steals from
+            # foreground reads.
+            span = tracer.begin(
+                "gc.migrate", die=die, block=victim, valid_pages=remaining
+            )
         if remaining == 0:
-            self._erase_victim(die, victim)
+            self._erase_victim(die, victim, span)
             return
 
         def move_done() -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
-                self._erase_victim(die, victim)
+                self._erase_victim(die, victim, span)
 
         for lpn in lpns:
             self._move_page(die, lpn, move_done)
@@ -125,13 +134,15 @@ class GarbageCollector:
 
         ftl.flash.read(old_ppn, after_read)
 
-    def _erase_victim(self, die: int, victim: int) -> None:
+    def _erase_victim(self, die: int, victim: int, span=None) -> None:
         ftl = self.ftl
 
         def after_erase() -> None:
             ftl.migrating_blocks.discard(victim)
             ftl.blocks.release_block(victim)
             self.blocks_reclaimed += 1
+            if span is not None and ftl.sim.tracer is not None:
+                ftl.sim.tracer.end(span)
             ftl.wear_check()
             ftl.notify_blocks_released()
             self._collect_step(die)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from ..obs.resettable import register_resettable
+
 __all__ = ["PageCache"]
 
 
@@ -27,6 +29,7 @@ class PageCache:
         self.misses = 0
         self.evictions = 0
         self.insert_failures = 0
+        register_resettable(self)
 
     # ------------------------------------------------------------------
     def lookup(self, lpn: int) -> tuple[bool, Any]:

@@ -130,7 +130,18 @@ class NvmeController:
         end_byte = start_byte + total_bytes
         page_bytes = self.ftl.page_bytes
 
+        tracer = self.sim.tracer
+        read_span = None
+        if tracer is not None:
+            read_span = tracer.begin(
+                "ftl.read",
+                parent=getattr(cmd, "obs_span", None),
+                pages=len(lpns),
+            )
+
         def on_contents(contents: List[Any]) -> None:
+            if read_span is not None:
+                tracer.end(read_span)
             segments: List[ReadSegment] = []
             for lpn, content in zip(lpns, contents):
                 page_start = lpn * page_bytes
@@ -219,11 +230,21 @@ class NvmeController:
         self.writes_served += 1
         base_lpn = cmd.slba // lbas_per_page
         remaining = len(payload.contents)
+        tracer = self.sim.tracer
+        write_span = None
+        if tracer is not None:
+            write_span = tracer.begin(
+                "ftl.write",
+                parent=getattr(cmd, "obs_span", None),
+                pages=len(payload.contents),
+            )
 
         def page_written() -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
+                if write_span is not None:
+                    tracer.end(write_span)
                 self.complete(qp, cmd, None)
 
         def after_data() -> None:
@@ -239,11 +260,21 @@ class NvmeController:
         end_byte = start_byte + data.size
         lpns = list(self.ftl.lpn_range_for_lbas(cmd.slba, cmd.nlb))
         remaining = len(lpns)
+        tracer = self.sim.tracer
+        write_span = None
+        if tracer is not None:
+            write_span = tracer.begin(
+                "ftl.write",
+                parent=getattr(cmd, "obs_span", None),
+                pages=len(lpns),
+            )
 
         def page_written() -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
+                if write_span is not None:
+                    tracer.end(write_span)
                 self.complete(qp, cmd, None)
 
         for lpn in lpns:

@@ -1,0 +1,75 @@
+"""``repro.obs`` — observability: tracing, metrics, attribution.
+
+Three layers, all passive with respect to the simulated timeline:
+
+* :mod:`repro.obs.tracer` — sim-time spans with parent/child causality
+  (``Tracer().install(sim)``; every instrumentation site is a no-op
+  while ``sim.tracer is None``).
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms plus the
+  opt-in :class:`PeriodicSampler` time series.
+* :mod:`repro.obs.analysis` / :mod:`repro.obs.export` — request-tree
+  reconstruction, exact exclusive-time latency attribution
+  (:func:`attribute_p99`, :func:`critical_path`) and Chrome/Perfetto +
+  CSV export (``tools/trace_export.py``).
+
+:mod:`repro.obs.resettable` is the shared stats-reset registry every
+counter-bearing class registers into (see ``docs/OBSERVABILITY.md``).
+"""
+
+from .analysis import (
+    SpanNode,
+    attribute_p99,
+    build_forest,
+    build_request_trees,
+    critical_path,
+    exclusive_times,
+)
+from .export import (
+    to_chrome_trace,
+    to_csv_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PeriodicSampler,
+    serving_probe,
+)
+from .resettable import (
+    clear_registry,
+    live_resettables,
+    register_resettable,
+    reset_all,
+)
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "serving_probe",
+    "register_resettable",
+    "reset_all",
+    "live_resettables",
+    "clear_registry",
+    "SpanNode",
+    "build_forest",
+    "build_request_trees",
+    "exclusive_times",
+    "critical_path",
+    "attribute_p99",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_csv_rows",
+    "write_csv",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,187 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and CSV.
+
+The Chrome trace format (loadable at ``ui.perfetto.dev`` or
+``chrome://tracing``) is a dict with a ``traceEvents`` list; spans
+become complete events (``"ph": "X"``) with microsecond timestamps, and
+tracer instant events become ``"ph": "i"``.  Sim time starts at 0, so
+timestamps are exported as-is (µs = s * 1e6).
+
+Track assignment: every span lands on the thread id of its *root
+ancestor*, so each request tree (and each batch/device subtree) renders
+as one self-contained nested track — Chrome's viewer nests same-tid
+events by time containment, which matches our parent/child intervals by
+construction.
+
+:func:`validate_chrome_trace` is the structural schema check behind
+``tools/trace_export.py --check`` and the golden trace test: every
+event must carry the required keys, microsecond fields must be finite
+non-negative numbers, and complete events must have ``dur >= 0``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_csv_rows",
+    "write_csv",
+    "validate_chrome_trace",
+]
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _spans_events(
+    trace: Union[Tracer, Iterable[Span]],
+) -> tuple[List[Span], List[Span]]:
+    if isinstance(trace, Tracer):
+        return list(trace.spans), list(trace.events)
+    spans = list(trace)
+    return [s for s in spans if s.t1 != s.t0], [s for s in spans if s.t1 == s.t0]
+
+
+def _root_sids(spans: List[Span], events: List[Span]) -> Dict[int, int]:
+    """Map every sid to the sid of its root ancestor (itself if rootless)."""
+    parent = {s.sid: s.parent_sid for s in spans}
+    parent.update({e.sid: e.parent_sid for e in events})
+    roots: Dict[int, int] = {}
+
+    def resolve(sid: int) -> int:
+        chain: List[int] = []
+        cur = sid
+        while cur not in roots:
+            chain.append(cur)
+            up = parent.get(cur)
+            if up is None or up not in parent:
+                roots[cur] = cur
+                break
+            cur = up
+        root = roots[cur]
+        for s in chain:
+            roots[s] = root
+        return root
+
+    for sid in parent:
+        resolve(sid)
+    return roots
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def to_chrome_trace(trace: Union[Tracer, Iterable[Span]]) -> Dict[str, Any]:
+    """Serialize to a Chrome ``trace_event`` dict (times in µs)."""
+    spans, events = _spans_events(trace)
+    roots = _root_sids(spans, events)
+    trace_events: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.t1 is None:
+            continue
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.t0 * 1e6,
+                "dur": (span.t1 - span.t0) * 1e6,
+                "pid": 1,
+                "tid": roots.get(span.sid, span.sid),
+                "args": {"sid": span.sid, **span.attrs},
+            }
+        )
+    for event in events:
+        trace_events.append(
+            {
+                "name": event.name,
+                "cat": _category(event.name),
+                "ph": "i",
+                "s": "t",
+                "ts": event.t0 * 1e6,
+                "pid": 1,
+                "tid": roots.get(event.sid, event.sid),
+                "args": {"sid": event.sid, **event.attrs},
+            }
+        )
+    trace_events.sort(key=lambda e: (e["ts"], e["args"]["sid"]))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    trace: Union[Tracer, Iterable[Span]], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace), indent=1) + "\n")
+    return path
+
+
+CSV_COLUMNS = ("sid", "name", "t0_s", "t1_s", "duration_s", "parent_sid", "attrs")
+
+
+def to_csv_rows(trace: Union[Tracer, Iterable[Span]]) -> List[Dict[str, Any]]:
+    """One flat row per span/event, attributes JSON-encoded."""
+    spans, events = _spans_events(trace)
+    rows = []
+    for span in spans + events:
+        rows.append(
+            {
+                "sid": span.sid,
+                "name": span.name,
+                "t0_s": span.t0,
+                "t1_s": span.t1,
+                "duration_s": (span.t1 - span.t0) if span.t1 is not None else "",
+                "parent_sid": span.parent_sid if span.parent_sid is not None else "",
+                "attrs": json.dumps(span.attrs, sort_keys=True),
+            }
+        )
+    rows.sort(key=lambda r: (r["t0_s"], r["sid"]))
+    return rows
+
+
+def write_csv(
+    trace: Union[Tracer, Iterable[Span]], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        writer.writerows(to_csv_rows(trace))
+    return path
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be a dict, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not a dict")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "B", "E", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0 or ts != ts:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if ph == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append(f"{where}: instant event with bad scope")
+    return problems

@@ -58,6 +58,10 @@ class InferenceRequest:
     # an idle/unbounded pool; later when dense workers are contended).
     t_dense_start: float = -1.0
     t_done: float = -1.0
+    # When a DROPPED request was shed (deadline drop, timeout cancel,
+    # host shed) — its queue-wait ends here, and it never had a service
+    # phase, so drops stay out of the service-time histograms.
+    t_drop: float = -1.0
     deadline: float = float("inf")
     priority: int = 0
     drop_reason: Optional[str] = None
@@ -82,6 +86,13 @@ class InferenceRequest:
     def queue_delay(self) -> float:
         """Time spent waiting in the request queue before dispatch."""
         return self.t_dispatch - self.t_arrival
+
+    @property
+    def drop_wait(self) -> float:
+        """Arrival-to-shed time for a dropped request (0.0 if unknown)."""
+        if self.t_drop < 0:
+            return 0.0
+        return self.t_drop - self.t_arrival
 
     @property
     def dense_wait(self) -> float:

@@ -214,10 +214,30 @@ class BatchScheduler:
         self.stats.record_dispatch(requests)
         worker.inflight_batches += 1
         self.inflight_batches_total += 1
+        tracer = self.sim.tracer
+        batch_span = None
+        if tracer is not None:
+            # One span per coalesced dispatch; requests link back to it
+            # via ``batch_sid`` (fan-in causality: one device batch, many
+            # requests).  Pushed for the synchronous stage.start call so
+            # the shard scatter / backend op spans parent under it.
+            batch_span = tracer.begin(
+                "batch",
+                model=worker.model.name,
+                requests=[r.request_id for r in requests],
+                size=sum(r.batch.batch_size for r in requests),
+            )
+            for request in requests:
+                request.obs_batch = batch_span
+            tracer.push(batch_span)
         worker.stage.start(
             merged,
-            lambda result: self._batch_done(worker, requests, spans, result),
+            lambda result: self._batch_done(
+                worker, requests, spans, result, batch_span
+            ),
         )
+        if tracer is not None:
+            tracer.pop()
 
     def _batch_done(
         self,
@@ -225,11 +245,14 @@ class BatchScheduler:
         requests: List[InferenceRequest],
         spans: List[Spans],
         result: EmbStageResult,
+        batch_span=None,
     ) -> None:
         worker.inflight_batches -= 1
         self.inflight_batches_total -= 1
         worker.batches_done += 1
         now = self.sim.now
+        if batch_span is not None and self.sim.tracer is not None:
+            self.sim.tracer.end(batch_span)
         self._record_shard_work(worker, result)
         self._record_fault_work(result)
         missing = getattr(result, "missing_by_table", None)

@@ -477,6 +477,7 @@ class InferenceServer:
             request.state = RequestState.REJECTED
             request.t_done = self.sim.now
             self.stats.record_reject(request)
+            self._trace_reject(request)
             if request.on_done is not None:
                 request.on_done(request)
             return request
@@ -484,12 +485,23 @@ class InferenceServer:
             request.state = RequestState.REJECTED
             request.t_done = self.sim.now
             self.stats.record_reject(request)
+            self._trace_reject(request)
             if request.on_done is not None:
                 request.on_done(request)
             return request
         self.stats.record_arrival(request)
         self.scheduler.pump()
         return request
+
+    def _trace_reject(self, request: InferenceRequest) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.event(
+                "reject",
+                request_id=request.request_id,
+                model=request.model,
+                reason=request.drop_reason or "capacity",
+            )
 
     def _drop_if_expired(self, request: InferenceRequest) -> bool:
         """Deadline-aware early drop (the scheduler's pop filter).
@@ -504,8 +516,18 @@ class InferenceServer:
         request.state = RequestState.DROPPED
         request.drop_reason = REASON_DEADLINE
         request.t_done = self.sim.now
+        request.t_drop = self.sim.now
         self.queue.release(request.model)
         self.stats.record_drop(request)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.event(
+                "drop",
+                request_id=request.request_id,
+                model=request.model,
+                reason=REASON_DEADLINE,
+                wait_s=request.drop_wait,
+            )
         if request.on_done is not None:
             request.on_done(request)
         return True
@@ -533,8 +555,45 @@ class InferenceServer:
         request.t_done = self.sim.now
         self.queue.release(request.model)
         self.stats.record_completion(request)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            self._trace_request(tracer, request)
         if request.on_done is not None:
             request.on_done(request)
+
+    @staticmethod
+    def _trace_request(tracer, request: InferenceRequest) -> None:
+        """Synthesize the per-request span tree from its timestamps.
+
+        Requests complete asynchronously through shared batches, so the
+        tree is recorded retrospectively at completion: a ``request``
+        root over ``[t_arrival, t_done]`` with ``queue`` / ``emb`` /
+        ``dense_wait`` / ``dense`` children tiling it.  The ``emb``
+        child names the coalesced batch's span (``batch_sid``), which is
+        how analysis grafts the shared device-tier subtree into every
+        request that waited on it.
+        """
+        root = tracer.add(
+            "request",
+            request.t_arrival,
+            request.t_done,
+            request_id=request.request_id,
+            model=request.model,
+            user_id=request.user_id,
+            degraded=request.degraded,
+        )
+        if request.t_dispatch < 0:
+            return
+        tracer.add("queue", request.t_arrival, request.t_dispatch, parent=root)
+        emb_end = (
+            request.t_emb_done if request.t_emb_done >= 0 else request.t_done
+        )
+        batch_span = getattr(request, "obs_batch", None)
+        emb_attrs = {"batch_sid": batch_span.sid} if batch_span is not None else {}
+        tracer.add("emb", request.t_dispatch, emb_end, parent=root, **emb_attrs)
+        if request.t_dense_start >= 0:
+            tracer.add("dense_wait", emb_end, request.t_dense_start, parent=root)
+            tracer.add("dense", request.t_dense_start, request.t_done, parent=root)
 
     def cancel_queued(self, request: InferenceRequest, reason: str) -> bool:
         """Cancel one still-queued request (tolerance layer: a timed-out
@@ -553,8 +612,18 @@ class InferenceServer:
         request.state = RequestState.DROPPED
         request.drop_reason = reason
         request.t_done = self.sim.now
+        request.t_drop = self.sim.now
         self.queue.release(request.model)
         self.stats.record_drop(request)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.event(
+                "drop",
+                request_id=request.request_id,
+                model=request.model,
+                reason=reason,
+                wait_s=request.drop_wait,
+            )
         if reason == "timeout":
             self.stats.timeout_cancels += 1
         if request.on_done is not None:
@@ -572,12 +641,22 @@ class InferenceServer:
         invariant intact.  Returns how many requests were shed.
         """
         shed = self.queue.drain_queued()
+        tracer = self.sim.tracer
         for request in shed:
             request.state = RequestState.DROPPED
             request.drop_reason = reason
             request.t_done = self.sim.now
+            request.t_drop = self.sim.now
             self.queue.release(request.model)
             self.stats.record_drop(request)
+            if tracer is not None:
+                tracer.event(
+                    "drop",
+                    request_id=request.request_id,
+                    model=request.model,
+                    reason=reason,
+                    wait_s=request.drop_wait,
+                )
             if request.on_done is not None:
                 request.on_done(request)
         return len(shed)

@@ -474,6 +474,7 @@ class ShardedEmbeddingStage:
         if unknown:
             raise KeyError(f"no placement for tables {sorted(unknown)}")
         start = self.sim.now
+        tracer = self.sim.tracer
         n_bags = {name: len(bags) for name, bags in bags_by_table.items()}
 
         # ---- scatter: (shard, table) -> shard-local bags -------------
@@ -548,7 +549,13 @@ class ShardedEmbeddingStage:
                 merge()
                 return
 
+            merge_span = (
+                tracer.begin("shard.merge") if tracer is not None else None
+            )
+
             def pooled_merge() -> None:
+                if merge_span is not None:
+                    tracer.end(merge_span)
                 self.sls_pool.release()
                 merge()
 
@@ -558,28 +565,52 @@ class ShardedEmbeddingStage:
             self.sim.call_soon(finish)
             return
 
-        def job_done(shard: int, name: str, result: SlsOpResult) -> None:
+        def job_done(
+            shard: int, name: str, result: SlsOpResult, job_span=None
+        ) -> None:
+            if job_span is not None:
+                tracer.end(job_span)
             per_shard.setdefault(shard, {})[name] = result
             pending["n"] -= 1
             if pending["n"] == 0:
                 finish()
 
+        # Scatter-gather tracing: one ``shard.job`` span per (shard,
+        # table) sub-op, opened at scatter (so a bounded SLS pool's
+        # queueing shows inside it) and pushed around the backend launch
+        # so the backend's ``sls_op`` span parents under it.
         for shard, name, sub_bags in jobs:
             backend = self.backends_by_shard[shard][name]
+            job_span = (
+                tracer.begin("shard.job", shard=shard, table=name)
+                if tracer is not None
+                else None
+            )
             if self.sls_pool is None:
+                if job_span is not None:
+                    tracer.push(job_span)
                 backend.start(
                     sub_bags,
-                    lambda result, _s=shard, _n=name: job_done(_s, _n, result),
+                    lambda result, _s=shard, _n=name, _j=job_span: job_done(
+                        _s, _n, result, _j
+                    ),
                 )
+                if job_span is not None:
+                    tracer.pop()
                 continue
 
             # One host SLS worker per sub-op, held launch-to-completion.
-            def launch(_s=shard, _n=name, _b=backend, _bags=sub_bags):
-                def op_done(result, _s=_s, _n=_n):
+            def launch(_s=shard, _n=name, _b=backend, _bags=sub_bags,
+                       _j=job_span):
+                def op_done(result, _s=_s, _n=_n, _j=_j):
                     self.sls_pool.release()
-                    job_done(_s, _n, result)
+                    job_done(_s, _n, result, _j)
 
+                if _j is not None:
+                    tracer.push(_j)
                 _b.start(_bags, op_done)
+                if _j is not None:
+                    tracer.pop()
 
             self.sls_pool.acquire(launch)
 

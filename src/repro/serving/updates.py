@@ -181,19 +181,36 @@ class EmbeddingUpdateEngine:
         distinct = data.apply(rows, values)
         self.batches_applied += 1
         self.rows_applied += distinct
-        # 2) Coherence + device writes per server holding the model.
-        seen_tables: Dict[int, None] = {}
-        for server in holders:
-            server.stats.update_batches += 1
-            server.stats.update_rows += distinct
-            for backend, local_rows in self._backends_of(
-                server, model_name, table_name, rows
-            ):
-                self._cohere_backend(server, backend, local_rows)
-                table = backend.table
-                if table.attached and id(table) not in seen_tables:
-                    seen_tables[id(table)] = None
-                    self._enqueue_page_writes(server, table, local_rows)
+        tracer = self.sim.tracer
+        commit_ctx = (
+            tracer.span(
+                "update.commit",
+                model=model_name,
+                table=table_name,
+                rows=int(distinct),
+            )
+            if tracer is not None
+            else None
+        )
+        if commit_ctx is not None:
+            commit_ctx.__enter__()
+        try:
+            # 2) Coherence + device writes per server holding the model.
+            seen_tables: Dict[int, None] = {}
+            for server in holders:
+                server.stats.update_batches += 1
+                server.stats.update_rows += distinct
+                for backend, local_rows in self._backends_of(
+                    server, model_name, table_name, rows
+                ):
+                    self._cohere_backend(server, backend, local_rows)
+                    table = backend.table
+                    if table.attached and id(table) not in seen_tables:
+                        seen_tables[id(table)] = None
+                        self._enqueue_page_writes(server, table, local_rows)
+        finally:
+            if commit_ctx is not None:
+                commit_ctx.__exit__(None, None, None)
         return distinct
 
     def _backends_of(
@@ -336,10 +353,18 @@ class EmbeddingUpdateEngine:
         lane.inflight += 1
         lane.last_issue = self.sim.now
         t0 = self.sim.now
+        tracer = self.sim.tracer
+        write_span = None
+        if tracer is not None:
+            write_span = tracer.begin(
+                "update.write", slba=item.slba, nlb=item.nlb
+            )
 
         def on_done(cpl) -> None:
             if not cpl.ok:
                 raise RuntimeError(f"update write failed: {cpl.status}")
+            if write_span is not None:
+                tracer.end(write_span)
             lane.inflight -= 1
             latency = self.sim.now - t0
             self.writes_completed += 1
@@ -348,7 +373,14 @@ class EmbeddingUpdateEngine:
             item.server.stats.update_write_latencies.append(latency)
             self._pump(lane)
 
-        lane.driver.write(item.slba, item.nlb, item.payload, on_done)
+        if write_span is not None:
+            tracer.push(write_span)
+            try:
+                lane.driver.write(item.slba, item.nlb, item.payload, on_done)
+            finally:
+                tracer.pop()
+        else:
+            lane.driver.write(item.slba, item.nlb, item.payload, on_done)
 
     # ------------------------------------------------------------------
     @property

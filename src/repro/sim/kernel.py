@@ -74,6 +74,11 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.event_count = 0
+        # Observability hook (see repro.obs.tracer): None means tracing
+        # is off and every instrumentation site short-circuits on one
+        # attribute load.  A plain attribute — not an import — so the
+        # kernel stays free of upward dependencies.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Clock and scheduling

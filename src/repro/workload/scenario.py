@@ -283,6 +283,7 @@ def run_scenario(
     system: Optional[System] = None,
     num_workers: int = 1,
     sharding=None,
+    tracer=None,
 ) -> ScenarioResult:
     """Build, run and summarize one scenario end-to-end.
 
@@ -293,6 +294,10 @@ def run_scenario(
     ``sharding`` pass through to ``register_model`` so scenarios can run
     against multi-SSD layouts too.  Deterministic for a fixed
     ``spec.seed``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is installed on the
+    system's simulator before any traffic: spans observe the run without
+    perturbing it, so results are bit-identical with or without one.
     """
     by_name = (
         dict(models)
@@ -317,6 +322,8 @@ def run_scenario(
             ndp=NdpEngineConfig(queue_when_full=True),
         )
     server = InferenceServer(system, spec.serving_config())
+    if tracer is not None:
+        tracer.install(server.sim)
     for tenant in spec.tenants:
         server.register_model(
             by_name[tenant.model],

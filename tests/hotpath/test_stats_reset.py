@@ -3,7 +3,9 @@
 Benchmarks discard warm-up iterations by calling ``reset_stats()`` /
 ``reset()``; a counter that survives the reset silently inflates the
 measured window.  These tests pin the full reset surface across the
-caches, Breakdown, ServingStats, the backends and the FTL.
+caches, Breakdown, ServingStats, the backends and the FTL — and, since
+the ``repro.obs`` resettable registry, audit all of them through the
+one ``reset_all()`` surface their constructors register into.
 """
 
 import numpy as np
@@ -16,6 +18,8 @@ from repro.embedding.spec import TableSpec
 from repro.embedding.table import EmbeddingTable
 from repro.ftl.pagecache import PageCache
 from repro.host.system import build_system
+from repro.obs import reset_all
+from repro.obs.resettable import clear_registry, live_resettables
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Breakdown
 from repro.serving.stats import ServingStats
@@ -179,3 +183,65 @@ def test_benchmark_window_does_not_inherit_warmup():
     assert backend.ops == 1
     assert cache.hits + cache.misses == int(result.stats["lookups"])
     assert system.device.ftl.host_page_reads <= int(result.stats["commands"]) * 2
+
+
+def test_registry_audit_one_surface_resets_everything():
+    """The ``repro.obs`` registry replaces per-class introspection: every
+    stats-bearing constructor registers itself, so building a stack,
+    dirtying it and calling ``reset_all()`` audits the whole reset
+    surface at once — a new gauge in any registered class cannot escape
+    the audit by being forgotten here."""
+    clear_registry()
+    try:
+        system = build_system(min_capacity_pages=1 << 16)
+        stats = ServingStats(Simulator())
+        lru = SetAssociativeLru(4, ways=2)
+        part = StaticPartitionCache(
+            np.array([1, 2]), np.zeros((2, 4), np.float32)
+        )
+        emb = DirectMappedEmbeddingCache(1)
+        page = PageCache(2)
+        registered = {type(o).__name__ for o in live_resettables()}
+        # The constructor-registration contract: each of these surfaces
+        # must be in the registry the moment it exists.
+        assert {
+            "GreedyFtl",
+            "PageCache",
+            "ServingStats",
+            "SetAssociativeLru",
+            "StaticPartitionCache",
+            "DirectMappedEmbeddingCache",
+        } <= registered
+
+        # Dirty every surface...
+        ftl = system.device.ftl
+        ftl.host_page_writes = 9
+        ftl.gc.runs = 4
+        ftl.wear.migrations = 3
+        req = InferenceRequest(model="m", batch=None)
+        stats.record_arrival(req)
+        req.t_dispatch, req.t_done = 0.1, 0.2
+        stats.record_completion(req)
+        for k in range(8):
+            lru.insert(k, vec(k))
+        lru.lookup(100)
+        part.partition_mask(np.array([1, 9]))
+        emb.insert(0, 1, vec(1))
+        emb.lookup(0, 1)
+        page.insert(1, "a")
+        page.lookup(1)
+        page.lookup(99)
+
+        # ...and clear them all through the one registry surface.
+        assert reset_all() >= 6
+        assert ftl.host_page_writes == 0
+        assert (ftl.gc.runs, ftl.wear.migrations) == (0, 0)
+        assert stats.completed == 0 and stats.latencies == []
+        assert (lru.hits, lru.misses, lru.evictions) == (0, 0, 0)
+        assert (part.hits, part.misses) == (0, 0)
+        assert (emb.hits, emb.misses, emb.inserts) == (0, 0, 0)
+        assert (page.hits, page.misses) == (0, 0)
+    finally:
+        # Registrations are weak; drop ours so later tests see a clean
+        # global registry.
+        clear_registry()

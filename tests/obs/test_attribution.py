@@ -1,0 +1,133 @@
+"""Attribution acceptance tests: exactness and the aged-device story.
+
+Two pins from the issue driving this subsystem:
+
+* exactness — on a fixed-seed cluster scenario, every request's
+  per-stage exclusive times sum to its end-to-end latency within
+  1e-9 s, and the ``attribute_p99`` stage table sums to the cohort
+  latency at the same tolerance;
+* the story — on the ``BENCH_updates`` aged-device cell (SSD backend,
+  GC steady state, live update stream) with the host-side admission
+  knobs opened so they don't mask the device, the dominant p99 stage is
+  the FTL/GC read path: foreground page reads stuck behind update
+  programs and GC migrations on the dies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, run_cluster_scenario
+from repro.host.system import build_system
+from repro.models.runner import BackendKind, required_capacity_pages
+from repro.obs import Tracer, attribute_p99, build_request_trees, exclusive_times
+from repro.serving import InferenceServer, age_device, make_model_updatable
+from repro.serving.server import ServingConfig
+from repro.workload import (
+    OpenLoopGenerator,
+    ScenarioSpec,
+    TenantSpec,
+    UpdateStream,
+    UpdateStreamSpec,
+    run_workload,
+)
+
+from ..serving.conftest import toy_model
+
+EPS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def cluster_trace():
+    spec = ClusterSpec(
+        name="attr-cluster",
+        scenario=ScenarioSpec(
+            name="attr-cluster",
+            tenants=(
+                TenantSpec(
+                    model="toy",
+                    arrival="open",
+                    rate=3000.0,
+                    n_requests=48,
+                    batch_size=2,
+                    slo_s=0.05,
+                ),
+            ),
+            backend="ndp",
+            max_batch_requests=4,
+            seed=29,
+        ),
+        n_hosts=2,
+    )
+    tracer = Tracer()
+    run_cluster_scenario(spec, [toy_model()], tracer=tracer)
+    return tracer
+
+
+def test_exclusive_times_sum_to_latency_within_1e9(cluster_trace):
+    trees = build_request_trees(cluster_trace)
+    assert trees, "cluster scenario produced no completed requests"
+    for tree in trees:
+        total = sum(exclusive_times(tree).values())
+        assert abs(total - tree.span.duration) < EPS
+
+
+def test_p99_stages_sum_to_cohort_latency(cluster_trace):
+    report = attribute_p99(cluster_trace)
+    assert report["cohort"] >= 1
+    assert abs(
+        sum(report["stages"].values()) - report["cohort_latency_s"]
+    ) < EPS
+    # Exclusive time is a partition: no stage can be negative.
+    assert all(v >= 0.0 for v in report["stages"].values())
+
+
+def _aged_device_trace(update_rate: float) -> Tracer:
+    """One BENCH_updates-style cell (aged SSD + interleaved updates),
+    with admission limits opened so queueing policy doesn't mask where
+    the device itself spends the tail."""
+    model = toy_model("m", seed=1)
+    make_model_updatable(model)
+    system = build_system(min_capacity_pages=required_capacity_pages(model))
+    server = InferenceServer(
+        system,
+        ServingConfig(
+            max_inflight_requests=1024, max_inflight_batches_per_worker=8
+        ),
+    )
+    tracer = Tracer().install(server.sim)
+    server.register_model(model, BackendKind.SSD)
+    age_device(system)
+    read_rate, n_requests, seed = 300.0, 120, 7
+    spec = UpdateStreamSpec(
+        rate=update_rate,
+        n_updates=max(1, int(update_rate * n_requests / read_rate)),
+        rows_per_update=32,
+        policy="interleave",
+    )
+    engine = spec.make_engine(server)
+    stream = UpdateStream(spec, model, seed=seed)
+    stream.schedule(server.sim, engine)
+    generator = OpenLoopGenerator(
+        model.name, rate=read_rate, n_requests=n_requests, batch_size=2
+    )
+    run_workload(server, generator, seed=seed)
+    server.sim.run_until(lambda: stream.done and engine.idle)
+    return tracer
+
+
+def test_aged_device_p99_dominated_by_ftl_read_path():
+    tracer = _aged_device_trace(update_rate=150.0)
+    report = attribute_p99(tracer)
+    assert report["dominant"] == "ftl.read"
+    # ... and decisively so, matching BENCH_updates' GC-interference
+    # story: the tail is the device read path, not the host/dense side.
+    stages = report["stages"]
+    assert stages["ftl.read"] > 0.5 * report["cohort_latency_s"]
+    host_side = sum(
+        stages.get(name, 0.0) for name in ("queue", "dense", "dense_wait")
+    )
+    assert stages["ftl.read"] > host_side
+    # GC really ran during the window (the interference is real).
+    assert tracer.find("gc.migrate")
+    assert tracer.find("update.commit")

@@ -1,0 +1,59 @@
+"""Tracing must observe, never perturb: goldens are bit-identical with it on.
+
+The serving/cluster golden files pin every number those fixed-seed
+scenarios produce.  Replaying the same scenarios WITH a tracer installed
+must reproduce the stored goldens exactly — if instrumentation ever
+schedules an event, draws a random number, or reorders a tie, the
+timeline shifts and these comparisons break loudly.  (The tracing-off
+side of the oracle is the pre-existing golden tests themselves.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Tracer
+
+from ..golden import cluster_scenarios, serving_scenarios
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+
+def _traced_wrapper(run, captured):
+    def wrapper(spec, models, **kwargs):
+        tracer = Tracer()
+        captured.append(tracer)
+        return run(spec, models, tracer=tracer, **kwargs)
+
+    return wrapper
+
+
+@pytest.mark.parametrize("name", sorted(serving_scenarios.SCENARIOS))
+def test_serving_golden_identical_with_tracing(name, monkeypatch):
+    golden = json.loads((GOLDEN_DIR / "serving_golden.json").read_text())
+    captured = []
+    monkeypatch.setattr(
+        serving_scenarios,
+        "run_scenario",
+        _traced_wrapper(serving_scenarios.run_scenario, captured),
+    )
+    record = serving_scenarios.SCENARIOS[name]()
+    assert record == golden[name]
+    assert captured and len(captured[0]) > 0  # the tracer really ran
+
+
+@pytest.mark.parametrize("name", sorted(cluster_scenarios.SCENARIOS))
+def test_cluster_golden_identical_with_tracing(name, monkeypatch):
+    golden = json.loads((GOLDEN_DIR / "cluster_golden.json").read_text())
+    captured = []
+    monkeypatch.setattr(
+        cluster_scenarios,
+        "run_cluster_scenario",
+        _traced_wrapper(cluster_scenarios.run_cluster_scenario, captured),
+    )
+    record = cluster_scenarios.SCENARIOS[name]()
+    assert record == golden[name]
+    assert captured and len(captured[0]) > 0

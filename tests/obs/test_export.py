@@ -1,0 +1,98 @@
+"""Exporter unit tests: Chrome trace shape, CSV rows, schema validation."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.obs import (
+    Tracer,
+    to_chrome_trace,
+    to_csv_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    root = tr.add("request", 0.0, 2.0, request_id=1)
+    tr.add("queue", 0.0, 0.5, parent=root)
+    tr.add("emb", 0.5, 2.0, parent=root)
+    other = tr.add("gc.migrate", 1.0, 1.5, die=3)
+    assert other.parent_sid is None
+    tr.event("drop", reason="deadline")
+    return tr
+
+
+def test_chrome_trace_span_and_event_phases():
+    obj = to_chrome_trace(_sample_tracer())
+    assert obj["displayTimeUnit"] == "ms"
+    by_name = {}
+    for ev in obj["traceEvents"]:
+        by_name.setdefault(ev["name"], ev)
+    req = by_name["request"]
+    assert req["ph"] == "X"
+    assert req["ts"] == 0.0 and req["dur"] == 2e6
+    assert req["cat"] == "request"
+    assert by_name["gc.migrate"]["cat"] == "gc"
+    drop = by_name["drop"]
+    assert drop["ph"] == "i" and drop["s"] == "t"
+    assert drop["args"]["reason"] == "deadline"
+
+
+def test_chrome_trace_tid_is_root_ancestor():
+    obj = to_chrome_trace(_sample_tracer())
+    by_name = {e["name"]: e for e in obj["traceEvents"]}
+    root_tid = by_name["request"]["tid"]
+    assert by_name["queue"]["tid"] == root_tid
+    assert by_name["emb"]["tid"] == root_tid
+    assert by_name["gc.migrate"]["tid"] != root_tid  # its own track
+
+
+def test_chrome_trace_sorted_and_valid():
+    obj = to_chrome_trace(_sample_tracer())
+    ts = [e["ts"] for e in obj["traceEvents"]]
+    assert ts == sorted(ts)
+    assert validate_chrome_trace(obj) == []
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = write_chrome_trace(_sample_tracer(), tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    assert len(loaded["traceEvents"]) == 5
+
+
+def test_csv_rows_and_file(tmp_path):
+    rows = to_csv_rows(_sample_tracer())
+    assert len(rows) == 5
+    req = next(r for r in rows if r["name"] == "request")
+    assert req["duration_s"] == 2.0
+    assert json.loads(req["attrs"]) == {"request_id": 1}
+    queue = next(r for r in rows if r["name"] == "queue")
+    assert queue["parent_sid"] == req["sid"]
+
+    path = write_csv(_sample_tracer(), tmp_path / "spans.csv")
+    with path.open() as fh:
+        read = list(csv.DictReader(fh))
+    assert len(read) == 5
+    assert read[0]["name"] == "request"  # sorted by (t0, sid)
+
+
+def test_validate_rejects_malformed():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    bad_events = {
+        "traceEvents": [
+            "not a dict",
+            {"name": "x", "ph": "Q", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "X", "ts": -1, "pid": 1, "tid": 1, "dur": 1},
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1},  # no dur
+            {"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "q"},
+            {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "dur": 0},  # no name
+        ]
+    }
+    problems = validate_chrome_trace(bad_events)
+    assert len(problems) >= 6

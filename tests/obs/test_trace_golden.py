@@ -1,0 +1,139 @@
+"""Golden trace: a fixed-seed scenario's span forest has a pinned shape.
+
+Runs the canned traced scenario (the same one ``tools/trace_export.py``
+exports) and asserts the structural invariants of the trace — span
+vocabulary, per-request tiling, parent/child causality, completeness —
+plus exact per-name span counts (deterministic at this seed) and the
+Chrome ``trace_event`` schema of the export.  A change to the
+instrumentation sites that adds, drops or re-parents spans shows up
+here before it confuses a human reading a Perfetto view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    build_request_trees,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.workload import ScenarioSpec, TenantSpec, run_scenario
+
+from ..serving.conftest import toy_model
+
+# Pinned per-name span counts at seed 17 (regenerate by printing
+# ``Counter(s.name for s in tracer.spans)`` on a trusted commit).
+EXPECTED_SPAN_COUNTS = {
+    "request": 40,
+    "queue": 40,
+    "emb": 40,
+    "dense_wait": 40,
+    "dense": 40,
+    "batch": 22,
+    "sls_op": 44,
+    "nvme.cmd": 88,
+}
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="golden-trace",
+        tenants=(
+            TenantSpec(
+                model="hi",
+                arrival="open",
+                rate=2500.0,
+                n_requests=24,
+                batch_size=2,
+                slo_s=0.02,
+                priority=1,
+            ),
+            TenantSpec(
+                model="lo",
+                arrival="closed",
+                num_clients=4,
+                requests_per_client=4,
+                think_time_s=0.002,
+                batch_size=2,
+                slo_s=0.05,
+            ),
+        ),
+        backend="ndp",
+        max_inflight_requests=32,
+        max_batch_requests=4,
+        deadline_drop=True,
+        drop_headroom_s=0.004,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = Tracer()
+    result = run_scenario(
+        _spec(), [toy_model("hi", seed=1), toy_model("lo", seed=2)], tracer=tracer
+    )
+    return tracer, result
+
+
+def test_span_counts_pinned(traced):
+    tracer, _ = traced
+    counts = {}
+    for span in tracer.spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+    assert counts == EXPECTED_SPAN_COUNTS
+
+
+def test_all_spans_complete_and_stack_empty(traced):
+    tracer, _ = traced
+    assert all(span.done for span in tracer.spans)
+    assert tracer.current is None
+
+
+def test_one_request_tree_per_completed_request(traced):
+    tracer, result = traced
+    trees = build_request_trees(tracer)
+    assert len(trees) == int(result.summary["completed"])
+
+
+def test_request_children_tile_the_request_interval(traced):
+    tracer, _ = traced
+    for tree in build_request_trees(tracer):
+        kids = tree.children
+        names = [k.name for k in kids]
+        assert names[0] == "queue"
+        assert "emb" in names
+        # Children tile [t_arrival, t_done] exactly, in order.
+        assert kids[0].span.t0 == tree.span.t0
+        for prev, nxt in zip(kids, kids[1:]):
+            assert prev.span.t1 == nxt.span.t0
+        assert kids[-1].span.t1 == tree.span.t1
+
+
+def test_device_tier_parents_under_batch(traced):
+    tracer, _ = traced
+    by_sid = {s.sid: s for s in tracer.spans}
+    for span in tracer.find("sls_op"):
+        assert by_sid[span.parent_sid].name == "batch"
+    for span in tracer.find("nvme.cmd"):
+        assert by_sid[span.parent_sid].name == "sls_op"
+        assert span.attrs["status"] == "SUCCESS"
+
+
+def test_batch_spans_cover_their_requests_emb_window(traced):
+    tracer, _ = traced
+    by_sid = {s.sid: s for s in tracer.spans}
+    for emb in tracer.find("emb"):
+        batch = by_sid[emb.attrs["batch_sid"]]
+        assert batch.name == "batch"
+        assert batch.t0 >= emb.t0 - 1e-12
+        assert batch.t1 <= emb.t1 + 1e-12
+
+
+def test_chrome_export_schema(traced):
+    tracer, _ = traced
+    obj = to_chrome_trace(tracer)
+    assert validate_chrome_trace(obj) == []
+    assert len(obj["traceEvents"]) == len(tracer)

@@ -1,0 +1,96 @@
+"""Queue-wait vs. service split, and the dropped-request accounting.
+
+``latency_breakdown()`` is the serving-side companion of the obs
+tracer's per-request decomposition: completed requests split into queue
+wait and service time (the two must sum back to end-to-end latency),
+while dropped requests report only how long they waited before being
+shed — they never reached service, so they must not leak into the
+service-time histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingConfig
+from repro.serving.admission import AdmissionConfig
+from repro.serving.request import InferenceRequest
+from repro.serving.stats import ServingStats
+
+from .conftest import build_server, toy_model
+
+
+def _run(slo=None):
+    model = toy_model()
+    admission = (
+        AdmissionConfig(deadline_drop=True, slo_by_model={model.name: slo})
+        if slo is not None
+        else None
+    )
+    server = build_server(
+        model,
+        serving_config=ServingConfig(
+            max_batch_requests=4, admission=admission
+        ),
+    )
+    rng = np.random.default_rng(0)
+    # A burst deep enough that (with a tight SLO) the queue tail expires
+    # while the head is being served.
+    for _ in range(16):
+        server.submit(model.name, model.sample_batch(rng, 2))
+    server.run_until_settled()
+    return server, server.stats
+
+
+def test_completed_split_sums_back_to_latency():
+    _, stats = _run()
+    assert stats.completed > 0 and stats.dropped == 0
+    breakdown = stats.latency_breakdown()["completed"]
+    assert breakdown["count"] == float(stats.completed)
+    # mean queue + mean service == mean end-to-end (same population).
+    total_ms = breakdown["mean_queue_ms"] + breakdown["mean_service_ms"]
+    assert total_ms == pytest.approx(
+        sum(stats.latencies) / len(stats.latencies) * 1e3
+    )
+    assert breakdown["p50_service_ms"] <= breakdown["p99_service_ms"]
+    assert breakdown["p50_queue_ms"] <= breakdown["p99_queue_ms"]
+
+
+def test_dropped_requests_record_wait_not_service():
+    _, stats = _run(slo=0.0005)
+    assert stats.dropped > 0, "burst must shed under this SLO"
+    breakdown = stats.latency_breakdown()
+    dropped = breakdown["dropped"]
+    assert dropped["count"] == float(stats.dropped)
+    assert dropped["waits_recorded"] == float(len(stats.drop_waits))
+    assert dropped["waits_recorded"] == dropped["count"]
+    assert 0.0 < dropped["mean_wait_ms"] <= dropped["max_wait_ms"] + 1e-9
+    # Drops never pollute the completed service histogram: its
+    # population is exactly the completed latencies.
+    assert breakdown["completed"]["count"] == float(stats.completed)
+    assert len(stats.latencies) == stats.completed
+
+
+def test_t_drop_stamped_on_shed_requests():
+    server, stats = _run(slo=0.0005)
+    assert stats.drop_waits
+    assert all(w >= 0.0 for w in stats.drop_waits)
+    assert max(stats.drop_waits) <= server.sim.now
+
+
+def test_request_drop_wait_property():
+    request = InferenceRequest(model="m", batch=None, request_id=1)
+    request.t_arrival = 1.0
+    assert request.drop_wait == 0.0  # never dropped
+    request.t_drop = 1.25
+    assert request.drop_wait == pytest.approx(0.25)
+
+
+def test_breakdown_empty_stats_all_zero():
+    stats = ServingStats(sim=None)
+    breakdown = stats.latency_breakdown()
+    assert breakdown["completed"]["count"] == 0.0
+    assert breakdown["completed"]["mean_service_ms"] == 0.0
+    assert breakdown["dropped"]["count"] == 0.0
+    assert breakdown["dropped"]["max_wait_ms"] == 0.0

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Run a canned traced scenario and export the trace for inspection.
+
+The bridge between :mod:`repro.obs` and external trace viewers: runs a
+small fixed-seed serving scenario with a :class:`~repro.obs.Tracer`
+installed, then writes the span log as Chrome/Perfetto ``trace_event``
+JSON (load it at https://ui.perfetto.dev or ``chrome://tracing``)
+and/or flat CSV, and prints the p99 attribution table.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/trace_export.py --json trace.json
+    PYTHONPATH=src python tools/trace_export.py --csv spans.csv
+    PYTHONPATH=src python tools/trace_export.py --check
+
+``--check`` validates the generated Chrome trace against the schema
+rules in :func:`repro.obs.validate_chrome_trace` and exits non-zero on
+any violation — the CI smoke step runs exactly this, so a change that
+breaks the exporter fails fast without a golden file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from the repo root without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.models.dlrm import DlrmConfig, DlrmModel  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Tracer,
+    attribute_p99,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.workload import ScenarioSpec, TenantSpec, run_scenario  # noqa: E402
+
+
+def _model(name: str, seed: int) -> DlrmModel:
+    config = DlrmConfig(
+        name=name,
+        dense_in=16,
+        bottom_mlp=(32, 16),
+        top_mlp=(32, 16),
+        num_tables=2,
+        table_rows=4096,
+        dim=16,
+        lookups=8,
+    )
+    return DlrmModel(config, seed=seed)
+
+
+def run_traced_scenario(seed: int = 17) -> Tracer:
+    """The canned scenario: two tenants, NDP backend, fixed seed."""
+    spec = ScenarioSpec(
+        name="trace-export",
+        tenants=(
+            TenantSpec(
+                model="hi",
+                arrival="open",
+                rate=2500.0,
+                n_requests=24,
+                batch_size=2,
+                slo_s=0.02,
+                priority=1,
+            ),
+            TenantSpec(
+                model="lo",
+                arrival="closed",
+                num_clients=4,
+                requests_per_client=4,
+                think_time_s=0.002,
+                batch_size=2,
+                slo_s=0.05,
+            ),
+        ),
+        backend="ndp",
+        max_inflight_requests=32,
+        max_batch_requests=4,
+        deadline_drop=True,
+        drop_headroom_s=0.004,
+        seed=seed,
+    )
+    tracer = Tracer()
+    run_scenario(spec, [_model("hi", seed=1), _model("lo", seed=2)], tracer=tracer)
+    return tracer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", help="write Chrome trace JSON")
+    parser.add_argument("--csv", metavar="PATH", help="write flat span CSV")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the Chrome trace schema and exit non-zero on errors",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--pct", type=float, default=99.0, help="attribution percentile"
+    )
+    args = parser.parse_args(argv)
+
+    tracer = run_traced_scenario(seed=args.seed)
+    print(f"captured {len(tracer)} spans, {len(tracer.events)} events")
+
+    if args.json:
+        write_chrome_trace(tracer, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_csv(tracer, args.csv)
+        print(f"wrote {args.csv}")
+
+    report = attribute_p99(tracer, pct=args.pct)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    if args.check:
+        obj = to_chrome_trace(tracer)
+        errors = validate_chrome_trace(obj)
+        if errors:
+            for error in errors:
+                print(f"SCHEMA ERROR: {error}", file=sys.stderr)
+            return 1
+        print(f"chrome trace schema OK ({len(obj['traceEvents'])} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
