@@ -11,6 +11,7 @@ from .backends import (
 from .caches import SetAssociativeLru, StaticPartitionCache, profile_hot_rows
 from .data import DenseTableData, TableData, VirtualTableData
 from .pipeline import InferencePipeline, PipelineBatchRecord, PipelineResult
+from .placement import HeatTracker, LayoutMigrator, heat_from_rows, profile_heat
 from .spec import Layout, TableSpec
 from .stage import EmbeddingStage, EmbStageResult
 from .table import EmbeddingTable, TablePageContent, TableRegion
@@ -31,6 +32,10 @@ __all__ = [
     "InferencePipeline",
     "PipelineBatchRecord",
     "PipelineResult",
+    "HeatTracker",
+    "LayoutMigrator",
+    "heat_from_rows",
+    "profile_heat",
     "Layout",
     "TableSpec",
     "EmbeddingStage",

@@ -72,6 +72,15 @@ class SlsBackend(ABC):
         if self.inflight > self.max_inflight:
             self.max_inflight = self.inflight
 
+        # Online heat: when a tracker is installed on the table (layout
+        # migration enabled), every op's rows feed the histogram here —
+        # the one funnel all backend kinds share.  External row ids on
+        # purpose: heat is a property of what the model asks for, not of
+        # where the layout currently stores it.
+        tracker = getattr(self.table, "heat_tracker", None)
+        if tracker is not None:
+            tracker.record(flatten_bags(bags)[0])
+
         # Observability choke point: every backend kind (dram, ssd, ndp)
         # funnels through here, so one ``sls_op`` span covers them all.
         # The span stays pushed for the synchronous part of ``_start``,

@@ -96,7 +96,11 @@ class SsdSlsBackend(SlsBackend):
             return
 
         # ---- group misses by LBA run (mask/unique, no dict loop) ---------
-        spans = table.lba_span_of_rows(rows)  # [n, 2] (first_lba, nlb)
+        # Translate once to storage ranks: spans, page indices and slots
+        # all address the (possibly heat-packed) physical placement,
+        # while ``rows`` keeps the external ids for cache keys/values.
+        srows = table.storage_ids(rows)
+        spans = table.lba_span_of_storage(srows)  # [n, 2] (first_lba, nlb)
         encode = int(spans[:, 1].max()) + 1
         uniq_keys, member_order, bounds = group_slices(
             spans[:, 0] * encode + spans[:, 1]
@@ -134,6 +138,7 @@ class SsdSlsBackend(SlsBackend):
                 if not cpl.ok:
                     raise RuntimeError(f"baseline SLS read failed: {cpl.status}")
                 got_rows = rows[member_idx]
+                got_srows = srows[member_idx]
                 got_rids = rids[member_idx]
                 segments = cpl.payload.segments
                 bad_lpns = [seg.lpn for seg in segments if seg.content is None]
@@ -143,13 +148,14 @@ class SsdSlsBackend(SlsBackend):
                     # pin zeros past the fault).  Count them for quality
                     # accounting; the op still completes.
                     ok = ~np.isin(
-                        base_lpn + got_rows // rpp,
+                        base_lpn + got_srows // rpp,
                         np.asarray(bad_lpns, dtype=np.int64),
                     )
                     stats["uncorrectable_rows"] = stats.get(
                         "uncorrectable_rows", 0.0
                     ) + float(got_rows.size - int(np.count_nonzero(ok)))
                     got_rows = got_rows[ok]
+                    got_srows = got_srows[ok]
                     got_rids = got_rids[ok]
                 if got_rows.size:
                     if not bad_lpns and prefetch and all(
@@ -162,14 +168,14 @@ class SsdSlsBackend(SlsBackend):
                         # Single-page command (every non-coalesced command):
                         # one direct extract, no grouping machinery.
                         vecs = extract_vectors(
-                            segments[0].content, got_rows % rpp, dim, rpp, quant
+                            segments[0].content, got_srows % rpp, dim, rpp, quant
                         )
                     else:
                         content_by_lpn = {seg.lpn: seg.content for seg in segments}
                         vecs = extract_vectors_many(
                             content_by_lpn,
-                            base_lpn + got_rows // rpp,
-                            got_rows % rpp,
+                            base_lpn + got_srows // rpp,
+                            got_srows % rpp,
                             dim,
                             rpp,
                             quant,
@@ -291,7 +297,8 @@ class SsdSlsBackend(SlsBackend):
             return
 
         # ---- group misses by LBA run --------------------------------------
-        spans = table.lba_span_of_rows(rows)  # [n, 2] (first_lba, nlb)
+        srows = table.storage_ids(rows)  # layout-aware storage ranks
+        spans = table.lba_span_of_storage(srows)  # [n, 2] (first_lba, nlb)
         groups: Dict[Tuple[int, int], List[int]] = {}
         for i in range(rows.size):
             key = (int(spans[i, 0]), int(spans[i, 1]))
@@ -316,8 +323,9 @@ class SsdSlsBackend(SlsBackend):
                 content_by_lpn = {seg.lpn: seg.content for seg in cpl.payload.segments}
                 got_rows = rows[member_idx]
                 got_rids = rids[member_idx]
-                page_idx = got_rows // rpp
-                slots = got_rows % rpp
+                got_srows = srows[member_idx]
+                page_idx = got_srows // rpp
+                slots = got_srows % rpp
                 base_lpn = table_base_byte // page_bytes
                 vecs = np.zeros((got_rows.size, table.spec.dim), dtype=np.float32)
                 readable = np.ones(got_rows.size, dtype=bool)

@@ -44,7 +44,13 @@ class SetAssociativeLru:
             raise ValueError("ways must be >= 1")
         self.capacity = capacity
         self.ways = min(ways, capacity) if capacity else ways
-        self.sets = max(1, capacity // max(1, self.ways)) if capacity else 0
+        # Round sets UP: flooring capacity // ways silently shrinks any
+        # capacity that is not a ways multiple (e.g. capacity=40, ways=16
+        # used to build a 32-entry cache) — enough to turn a
+        # cyclic-reuse trace that should hit ~100% into pure thrash.
+        self.sets = (
+            max(1, -(-capacity // max(1, self.ways))) if capacity else 0
+        )
         self._tags = np.full((self.sets, self.ways), -1, dtype=np.int64)
         self._stamps = np.zeros((self.sets, self.ways), dtype=np.int64)
         self._values: Optional[np.ndarray] = None        # [sets*ways, *vshape]

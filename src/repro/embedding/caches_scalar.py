@@ -29,7 +29,11 @@ class ScalarSetAssociativeLru:
             raise ValueError("ways must be >= 1")
         self.capacity = capacity
         self.ways = min(ways, capacity) if capacity else ways
-        self.sets = max(1, capacity // max(1, self.ways)) if capacity else 0
+        # Ceil, matching SetAssociativeLru: a non-multiple capacity must
+        # not shrink the cache below its nominal size.
+        self.sets = (
+            max(1, -(-capacity // max(1, self.ways))) if capacity else 0
+        )
         self._sets: List["OrderedDict[int, np.ndarray]"] = [
             OrderedDict() for _ in range(self.sets)
         ]

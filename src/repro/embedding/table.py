@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.config import SlsConfig, build_pairs
+from ..ftl.layout import FrequencyLayout, RowLayout
 from ..quant import decode_vectors, encode_vectors
 from ..ssd.device import SsdDevice
 from .data import MappedTableData, TableData, VirtualTableData
@@ -32,14 +33,20 @@ class TablePageContent:
         self.page_index = page_index
 
     def vectors(self, slots: np.ndarray) -> np.ndarray:
-        """Canonical float32 vectors for in-page ``slots``."""
+        """Canonical float32 vectors for in-page ``slots``.
+
+        Slots address internal storage ranks; the table's layout (when
+        present) resolves each rank to the external row stored there, so
+        a layout re-pack retroactively "rewrites" this virtual page.
+        """
         slots = np.asarray(slots, dtype=np.int64)
         rpp = self.table.rows_per_page
-        rows = self.page_index * rpp + slots
+        ranks = self.page_index * rpp + slots
         out = np.zeros((slots.size, self.table.spec.dim), dtype=np.float32)
-        in_range = rows < self.table.spec.rows
+        in_range = ranks < self.table.spec.rows
         if np.any(in_range):
-            out[in_range] = self.table.get_rows(rows[in_range])
+            rows = self.table.external_ids(ranks[in_range])
+            out[in_range] = self.table.get_rows(rows)
         return out
 
     def materialize(self) -> np.ndarray:
@@ -51,7 +58,10 @@ class TablePageContent:
         first = self.page_index * rpp
         count = min(rpp, spec.rows - first)
         if count > 0:
-            raw = self.table.data.get_rows(np.arange(first, first + count))
+            rows = self.table.external_ids(
+                np.arange(first, first + count, dtype=np.int64)
+            )
+            raw = self.table.data.get_rows(rows)
             stored = encode_vectors(raw, spec.quant)
             encoded = stored.view(np.uint8).reshape(count, spec.row_bytes)
             rows_view = buf[: rpp * spec.row_bytes].reshape(rpp, spec.row_bytes)
@@ -88,6 +98,55 @@ class EmbeddingTable:
         self.device: Optional[SsdDevice] = None
         self.base_lba: Optional[int] = None
         self._page_bytes: Optional[int] = None
+        # Row -> page layout.  None keeps the legacy identity placement
+        # (row i at rank i) with zero per-op overhead; ``set_heat``
+        # before ``attach`` selects heat-ordered packing instead.
+        self.layout: Optional[RowLayout] = None
+        self._heat: Optional[np.ndarray] = None
+        # Online heat tracker (repro.embedding.placement.HeatTracker);
+        # backends record accessed rows here when one is installed.
+        self.heat_tracker = None
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def set_heat(self, heat: Optional[np.ndarray]) -> None:
+        """Install a per-row access-frequency profile for placement.
+
+        Must run before :meth:`attach` (rows-per-page depends on the
+        device's page size, so the layout is built at attach time).
+        ``None`` clears the profile; a uniform profile reproduces the
+        legacy layout bit-identically.
+        """
+        if self.attached:
+            raise RuntimeError("set_heat must run before attach")
+        if heat is None:
+            self._heat = None
+            return
+        heat = np.asarray(heat, dtype=np.float64)
+        if heat.shape != (self.spec.rows,):
+            raise ValueError(
+                f"heat must have one entry per row ({self.spec.rows}), "
+                f"got shape {heat.shape}"
+            )
+        self._heat = heat.copy()
+
+    @property
+    def heat(self) -> Optional[np.ndarray]:
+        return self._heat
+
+    def storage_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Internal storage ranks of external row ``ids`` (identity when
+        no layout is installed)."""
+        if self.layout is None:
+            return np.asarray(ids, dtype=np.int64)
+        return self.layout.storage_ids(ids)
+
+    def external_ids(self, ranks: np.ndarray) -> np.ndarray:
+        """External row ids stored at internal ``ranks``."""
+        if self.layout is None:
+            return np.asarray(ranks, dtype=np.int64)
+        return self.layout.external_ids(ranks)
 
     # ------------------------------------------------------------------
     # Sharding
@@ -107,10 +166,15 @@ class EmbeddingTable:
         global_ids = np.asarray(global_ids, dtype=np.int64)
         if global_ids.size > 1 and not np.all(np.diff(global_ids) > 0):
             raise ValueError("global_ids must be strictly ascending")
-        return EmbeddingTable(
+        shard = EmbeddingTable(
             self.spec.shard(shard_index, int(global_ids.size)),
             data=MappedTableData(self.data, global_ids),
         )
+        if self._heat is not None and global_ids.size:
+            # Shard-local heat is the parent profile restricted to the
+            # rows this shard owns, so each shard packs its own pages.
+            shard.set_heat(self._heat[global_ids])
+        return shard
 
     # ------------------------------------------------------------------
     # Placement
@@ -121,6 +185,7 @@ class EmbeddingTable:
             raise RuntimeError(f"table {self.spec.name} already attached")
         self.device = device
         self._page_bytes = device.ftl.page_bytes
+        self._build_layout()
         n_pages = self.spec.table_pages(self._page_bytes)
         self.base_lba = device.allocate_table_region(n_pages)
         base_lpn = self.base_lba // device.ftl.lbas_per_page
@@ -140,6 +205,7 @@ class EmbeddingTable:
         device = system.device
         self.device = device
         self._page_bytes = device.ftl.page_bytes
+        self._build_layout()
         n_pages = self.spec.table_pages(self._page_bytes)
         self.base_lba = device.allocate_table_region(n_pages)
         driver = system.driver_for(device)
@@ -156,6 +222,18 @@ class EmbeddingTable:
 
             driver.write(slba, lbas_per_page, buf, on_done)
         system.sim.run_until(lambda: pending["n"] == 0)
+
+    def _build_layout(self) -> None:
+        """Turn an installed heat profile into a frequency layout.
+
+        Runs at attach time (rows-per-page needs the device page size).
+        Without a profile the layout stays ``None`` — the identity —
+        so every pre-layout golden timeline is preserved bit-for-bit.
+        """
+        if self._heat is not None:
+            self.layout = FrequencyLayout.from_heat(
+                self._heat, self.spec.rows, self.rows_per_page
+            )
 
     @property
     def attached(self) -> bool:
@@ -181,14 +259,21 @@ class EmbeddingTable:
     def row_location(self, row: int) -> tuple[int, int]:
         """(page_index, slot) of a row under this table's layout."""
         rpp = self.rows_per_page
-        return row // rpp, row % rpp
+        rank = int(self.storage_ids(np.asarray([row]))[0])
+        return rank // rpp, rank % rpp
 
     def lba_span_of_rows(self, rows: np.ndarray) -> np.ndarray:
         """Per-row ``(first_lba, nlb)`` covering each row's bytes."""
-        rows = np.asarray(rows, dtype=np.int64)
+        return self.lba_span_of_storage(self.storage_ids(rows))
+
+    def lba_span_of_storage(self, ranks: np.ndarray) -> np.ndarray:
+        """Per-rank ``(first_lba, nlb)`` for already-translated storage
+        ranks (backends translate once and reuse the ranks for span
+        grouping *and* in-page slot extraction)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
         rpp = self.rows_per_page
-        page_idx = rows // rpp
-        slot = rows % rpp
+        page_idx = ranks // rpp
+        slot = ranks % rpp
         byte_start = (
             self.base_lba * self.lba_bytes
             + page_idx * self.page_bytes
@@ -226,7 +311,18 @@ class EmbeddingTable:
     def make_sls_config(self, bags: Sequence[np.ndarray]) -> SlsConfig:
         if not self.attached:
             raise RuntimeError("table must be attached before issuing SLS")
-        pairs = build_pairs([np.asarray(b) for b in bags])
+        if self.layout is None:
+            bags = [np.asarray(b) for b in bags]
+        else:
+            # The device addresses storage ranks: translate each bag so
+            # the NDP engine's page math (rank // rows_per_page) walks
+            # the heat-packed placement.  Pairs then sort by rank — the
+            # page-ordered scan the weak SSD CPU needs.
+            bags = [
+                self.storage_ids(np.asarray(b, dtype=np.int64).reshape(-1))
+                for b in bags
+            ]
+        pairs = build_pairs(bags)
         return SlsConfig(
             table_base_lba=self.base_lba,
             request_id=0,  # assigned by the driver session

@@ -4,6 +4,7 @@ from .blocks import BlockManager, OutOfSpaceError
 from .cpu import FtlCpu, FtlCpuCosts
 from .ftl import FtlConfig, GreedyFtl
 from .gc import GarbageCollector
+from .layout import FrequencyLayout, ModuloLayout, RowLayout
 from .mapping import UNMAPPED, MappingTable
 from .pagecache import PageCache
 from .wear import WearLeveler
@@ -16,6 +17,9 @@ __all__ = [
     "FtlConfig",
     "GreedyFtl",
     "GarbageCollector",
+    "FrequencyLayout",
+    "ModuloLayout",
+    "RowLayout",
     "MappingTable",
     "UNMAPPED",
     "PageCache",

@@ -85,6 +85,10 @@ class GreedyFtl:
         # In-flight program count per block: a block with queued programs
         # must not be erased (the die would reorder erase before program).
         self._inflight_programs: dict[int, int] = {}
+        # Optional layout-migration hook (repro.embedding.placement.
+        # LayoutMigrator): GC invokes it after each victim reclaim to
+        # piggyback heat-driven row re-packing on the relocation.
+        self.layout_migrator: Optional[Any] = None
         # One reset surface for every benchmark window (repro.obs):
         # ftl.reset_stats() cascades to page_cache/gc/wear, so only the
         # FTL itself registers.

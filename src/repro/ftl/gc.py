@@ -27,6 +27,7 @@ class GarbageCollector:
         self._active = [False] * ftl.geometry.dies
         self.runs = 0
         self.pages_moved = 0
+        self.moves_aborted = 0
         self.blocks_reclaimed = 0
         self.stalls = 0
 
@@ -34,6 +35,7 @@ class GarbageCollector:
         """Clear the GC gauges benchmarks read (not collection state)."""
         self.runs = 0
         self.pages_moved = 0
+        self.moves_aborted = 0
         self.blocks_reclaimed = 0
         self.stalls = 0
 
@@ -89,14 +91,14 @@ class GarbageCollector:
                 "gc.migrate", die=die, block=victim, valid_pages=remaining
             )
         if remaining == 0:
-            self._erase_victim(die, victim, span)
+            self._erase_victim(die, victim, span, lpns)
             return
 
         def move_done() -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
-                self._erase_victim(die, victim, span)
+                self._erase_victim(die, victim, span, lpns)
 
         for lpn in lpns:
             self._move_page(die, lpn, move_done)
@@ -105,7 +107,19 @@ class GarbageCollector:
         ftl = self.ftl
         old_ppn = ftl.mapping.lookup(lpn)
 
+        def stale() -> bool:
+            # Foreground traffic may rewrite the lpn at any yield point of
+            # this migration.  Once it does, the copy we hold is stale:
+            # abort before paying for an allocation + program that could
+            # never be remapped (and, worse, would remap the lpn back to
+            # stale content if only checked before our own callbacks ran).
+            return ftl.mapping.lookup(lpn) != old_ppn
+
         def after_read(content) -> None:
+            if stale():
+                self.moves_aborted += 1
+                on_done()
+                return
             ftl.cpu.ftl_core.submit(
                 ftl.cpu.costs.gc_page_move_s, lambda: after_cpu(content), priority=2
             )
@@ -113,6 +127,10 @@ class GarbageCollector:
         def after_cpu(content) -> None:
             from .blocks import OutOfSpaceError
 
+            if stale():
+                self.moves_aborted += 1
+                on_done()
+                return
             try:
                 new_ppn = ftl.blocks.allocate_page(die)
             except OutOfSpaceError:
@@ -122,19 +140,22 @@ class GarbageCollector:
                 new_ppn = ftl.blocks.allocate_page()
 
             def after_program() -> None:
-                # The lpn may have been overwritten by foreground traffic while
-                # the migration was in flight; only remap if it still points at
-                # the page we copied.
-                if ftl.mapping.lookup(lpn) == old_ppn:
+                # Last line of defense: the rewrite may land between the
+                # allocate and this completion.  The programmed page is
+                # then garbage (never mapped, reclaimed on the next erase
+                # of its block) but the mapping stays correct.
+                if stale():
+                    self.moves_aborted += 1
+                else:
                     ftl.mapping.map(lpn, new_ppn)
-                self.pages_moved += 1
+                    self.pages_moved += 1
                 on_done()
 
             ftl.program_page(new_ppn, content, after_program)
 
         ftl.flash.read(old_ppn, after_read)
 
-    def _erase_victim(self, die: int, victim: int, span=None) -> None:
+    def _erase_victim(self, die: int, victim: int, span=None, lpns=None) -> None:
         ftl = self.ftl
 
         def after_erase() -> None:
@@ -143,6 +164,11 @@ class GarbageCollector:
             self.blocks_reclaimed += 1
             if span is not None and ftl.sim.tracer is not None:
                 ftl.sim.tracer.end(span)
+            if ftl.layout_migrator is not None and lpns:
+                # Piggyback layout adaptation on the relocation we just
+                # paid for: the victim's surviving rows are re-packed
+                # against the current heatmap (bounded per cycle).
+                ftl.layout_migrator.on_block_reclaimed(lpns)
             ftl.wear_check()
             ftl.notify_blocks_released()
             self._collect_step(die)

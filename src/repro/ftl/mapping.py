@@ -73,40 +73,69 @@ class MappingTable:
             self._l2p[lpn] = UNMAPPED
         return old_ppn
 
-    def bulk_map(self, lpn_start: int, ppns: np.ndarray) -> None:
+    def bulk_map(self, lpn_start: int, ppns: np.ndarray) -> np.ndarray:
         """Vectorized mapping of consecutive LPNs onto ``ppns`` (preload)."""
         ppns = np.asarray(ppns, dtype=np.int64)
-        self.bulk_map_pairs(
+        return self.bulk_map_pairs(
             np.arange(lpn_start, lpn_start + ppns.size, dtype=np.int64), ppns
         )
 
-    def bulk_map_pairs(self, lpns: np.ndarray, ppns: np.ndarray) -> None:
-        """Vectorized mapping of fresh (lpn, ppn) pairs (preload fast path).
+    def bulk_map_pairs(self, lpns: np.ndarray, ppns: np.ndarray) -> np.ndarray:
+        """Vectorized mapping of (lpn, ppn) pairs; last write wins.
 
-        All target LPNs and PPNs must be unmapped; used when installing
-        table images where per-page :meth:`map` calls would dominate setup.
+        Target PPNs must be unmapped (they are freshly allocated pages),
+        but target LPNs may already be mapped — their old physical pages
+        are invalidated exactly as :meth:`map` would.  Duplicate LPNs
+        within one batch take the *last* pair, mirroring the sequential
+        semantics of issuing :meth:`map` per pair; the physical pages the
+        earlier duplicates would have occupied are dead on arrival.
+
+        Returns the sorted array of invalidated PPNs (previous mappings
+        of remapped LPNs plus dead intra-batch duplicates), the bulk
+        analogue of :meth:`map`'s old-PPN return.
         """
         lpns = np.asarray(lpns, dtype=np.int64)
         ppns = np.asarray(ppns, dtype=np.int64)
         if lpns.size != ppns.size:
             raise ValueError("lpns/ppns length mismatch")
         if lpns.size == 0:
-            return
+            return np.zeros(0, dtype=np.int64)
         if lpns.min() < 0 or lpns.max() >= self.logical_pages:
             raise IndexError("bulk_map lpn range out of bounds")
         if ppns.min() < 0 or ppns.max() >= self.geometry.total_pages:
             raise IndexError("bulk_map ppn out of bounds")
-        if np.any(self._l2p[lpns] != UNMAPPED):
-            raise ValueError("bulk_map target lpns already mapped")
+        if np.unique(ppns).size != ppns.size:
+            raise ValueError("bulk_map duplicate target ppns in batch")
         if np.any(self._p2l[ppns] != UNMAPPED):
             raise ValueError("bulk_map target ppns already mapped")
-        self._l2p[lpns] = ppns
-        self._p2l[ppns] = lpns
+        # Last write wins: keep the final occurrence of each LPN.  The
+        # first index into the reversed array is the last index into the
+        # original one.
+        rev_first = np.unique(lpns[::-1], return_index=True)[1]
+        winner_idx = np.sort(lpns.size - 1 - rev_first)
+        win_lpns = lpns[winner_idx]
+        win_ppns = ppns[winner_idx]
+        # PPNs of losing duplicates never become valid.
+        dead_mask = np.ones(lpns.size, dtype=bool)
+        dead_mask[winner_idx] = False
+        dead_ppns = ppns[dead_mask]
+        # Invalidate prior mappings of remapped LPNs (same as map()).
+        old_ppns = self._l2p[win_lpns]
+        old_mapped = old_ppns[old_ppns != UNMAPPED]
+        if old_mapped.size:
+            self._p2l[old_mapped] = UNMAPPED
+            blocks = old_mapped // self.geometry.pages_per_block
+            np.add.at(self._valid_per_block, blocks, -1)
+            if np.any(self._valid_per_block[blocks] < 0):
+                raise AssertionError("valid count underflow in bulk_map_pairs")
+        self._l2p[win_lpns] = win_ppns
+        self._p2l[win_ppns] = win_lpns
         np.add.at(
             self._valid_per_block,
-            ppns // self.geometry.pages_per_block,
+            win_ppns // self.geometry.pages_per_block,
             1,
         )
+        return np.sort(np.concatenate([old_mapped, dead_ppns]))
 
     def _invalidate_ppn(self, ppn: int) -> None:
         self._p2l[ppn] = UNMAPPED

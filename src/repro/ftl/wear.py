@@ -24,12 +24,14 @@ class WearLeveler:
         self.ftl = ftl
         self.threshold = threshold
         self.migrations = 0
+        self.moves_aborted = 0
         self.checks = 0
         self._busy = False
 
     def reset_stats(self) -> None:
         """Clear the wear gauges benchmarks read (not migration state)."""
         self.migrations = 0
+        self.moves_aborted = 0
         self.checks = 0
 
     # ------------------------------------------------------------------
@@ -99,7 +101,16 @@ class WearLeveler:
         ftl = self.ftl
         old_ppn = ftl.mapping.lookup(lpn)
 
+        def stale() -> bool:
+            # Same mid-migration rewrite race as GC page moves: abort as
+            # soon as the lpn no longer points at the page we copied.
+            return ftl.mapping.lookup(lpn) != old_ppn
+
         def after_read(content) -> None:
+            if stale():
+                self.moves_aborted += 1
+                on_done()
+                return
             ftl.cpu.ftl_core.submit(
                 ftl.cpu.costs.gc_page_move_s, lambda: after_cpu(content), priority=2
             )
@@ -107,6 +118,10 @@ class WearLeveler:
         def after_cpu(content) -> None:
             from .blocks import OutOfSpaceError
 
+            if stale():
+                self.moves_aborted += 1
+                on_done()
+                return
             # Background service: stay above the per-die GC reserve when
             # possible; a mid-migration squeeze may dip into it (the erase
             # at the end of this migration returns a block immediately).
@@ -116,7 +131,9 @@ class WearLeveler:
                 new_ppn = ftl.blocks.allocate_page()
 
             def after_program() -> None:
-                if ftl.mapping.lookup(lpn) == old_ppn:
+                if stale():
+                    self.moves_aborted += 1
+                else:
                     ftl.mapping.map(lpn, new_ppn)
                 on_done()
 

@@ -239,6 +239,12 @@ class InferenceServer:
                     f.name: EmbeddingTable(f.spec, data=model.tables[f.name].data)
                     for f in model.features
                 }
+                for f in model.features:
+                    # Replicas serve the same popularity, so they inherit
+                    # the primary's heat profile (and hence its layout).
+                    primary_heat = model.tables[f.name].heat
+                    if primary_heat is not None:
+                        tables[f.name].set_heat(primary_heat)
             backends, _caches, _partitions = build_backends(
                 model,
                 config,

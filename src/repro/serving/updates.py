@@ -269,8 +269,10 @@ class EmbeddingUpdateEngine:
             if table.attached:
                 device = table.device
                 table_key = table.base_lba // device.ftl.lbas_per_page
+                # The device vector cache keys by internal storage rank;
+                # translate external update ids through the table layout.
                 dropped = device.ndp.emb_cache.invalidate_many(
-                    table_key, local_rows
+                    table_key, table.storage_ids(local_rows)
                 )
                 self.invalidations += dropped
                 server.stats.update_invalidations += dropped
@@ -281,7 +283,10 @@ class EmbeddingUpdateEngine:
     def _enqueue_page_writes(
         self, server: InferenceServer, table: EmbeddingTable, local_rows: np.ndarray
     ) -> None:
-        pages = np.unique(local_rows // table.rows_per_page)
+        # Dirty pages are a placement question: translate the updated
+        # external ids to storage ranks so heat-packed tables rewrite
+        # the pages that actually hold them.
+        pages = np.unique(table.storage_ids(local_rows) // table.rows_per_page)
         n_pages = table.spec.table_pages(table.page_bytes)
         pages = pages[pages < n_pages]
         if pages.size == 0:

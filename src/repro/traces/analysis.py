@@ -11,6 +11,7 @@ from ..embedding.caches import SetAssociativeLru
 __all__ = [
     "unique_fraction",
     "rows_to_pages",
+    "row_frequencies",
     "reuse_cdf",
     "lru_page_hit_rate",
     "stack_distances",
@@ -33,11 +34,23 @@ def rows_to_pages(trace: np.ndarray, row_bytes: int, page_bytes: int) -> np.ndar
     return np.asarray(trace, dtype=np.int64) // rows_per_page
 
 
+def row_frequencies(trace: np.ndarray, num_rows: int) -> np.ndarray:
+    """Per-row access counts over ``[0, num_rows)`` — the heat histogram
+    frequency-based layout packs by (:mod:`repro.embedding.placement`)."""
+    trace = np.asarray(trace, dtype=np.int64).reshape(-1)
+    if trace.size and (trace.min() < 0 or trace.max() >= num_rows):
+        raise ValueError("row id out of range for frequency histogram")
+    return np.bincount(trace, minlength=num_rows).astype(np.float64)
+
+
 def reuse_cdf(page_trace: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Figure 3's curve: cumulative hit share vs pages (ascending hit count).
 
     Returns ``(pages_fraction, cumulative_hits_fraction)`` where index i
-    covers the i+1 least-hit pages.
+    covers the i+1 least-hit pages.  Edge cases are exact, not
+    accidental: an empty trace yields two empty arrays (no 0/0), and a
+    single-element trace yields ``([1.0], [1.0])`` — one page carrying
+    all hits.
     """
     page_trace = np.asarray(page_trace, dtype=np.int64)
     if page_trace.size == 0:
@@ -52,17 +65,24 @@ def reuse_cdf(page_trace: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 def lru_page_hit_rate(
     page_trace: np.ndarray, capacity_pages: int, ways: int = 16
 ) -> float:
-    """Hit rate of a ``ways``-way LRU page cache over a page-id trace (Fig 4)."""
+    """Hit rate of a ``ways``-way LRU page cache over a page-id trace (Fig 4).
+
+    Replays the trace on a real :class:`SetAssociativeLru` and reports
+    the cache's own hit/miss counters, so this function agrees with the
+    serving cache by construction for any (capacity, ways) — including
+    capacities that are not a multiple of ``ways`` (the cache rounds its
+    set count up rather than silently shrinking).
+    """
     cache = SetAssociativeLru(capacity_pages, ways=ways)
     marker = np.zeros(0)  # cached payloads are irrelevant here
-    hits = 0
     trace = np.asarray(page_trace, dtype=np.int64)
+    if trace.size == 0:
+        return 0.0
     for page in trace:
-        if cache.lookup(int(page)) is not None:
-            hits += 1
-        else:
+        if cache.lookup(int(page)) is None:
             cache.insert(int(page), marker)
-    return hits / trace.size if trace.size else 0.0
+    assert cache.hits + cache.misses == trace.size
+    return cache.hits / trace.size
 
 
 def interarrival_stats(times: Sequence[float]) -> Dict[str, float]:
@@ -90,10 +110,13 @@ def interarrival_stats(times: Sequence[float]) -> Dict[str, float]:
 
 
 def stack_distances(trace: Sequence[int]) -> List[int]:
-    """LRU stack distance per access; -1 marks first touches."""
+    """LRU stack distance per access; -1 marks first touches.
+
+    Empty traces yield ``[]`` and a single access yields ``[-1]`` — the
+    first touch of its item, never an index into an empty stack.
+    """
     stack: List[int] = []
     out: List[int] = []
-    position: Dict[int, None] = {}
     for item in trace:
         item = int(item)
         try:

@@ -21,12 +21,14 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.engine import NdpEngineConfig
+from ..embedding.placement import HeatTracker, LayoutMigrator, profile_heat
 from ..faults.injector import FaultInjector
 from ..faults.spec import FaultSpec
 from ..host.system import System, build_system
 from ..models.base import IndexSampler, RecModel
 from ..models.runner import BackendKind, required_capacity_pages
 from ..serving import AdmissionConfig, InferenceServer, ServingConfig, ServingStats
+from ..serving.sharding import RowShardPolicy
 from ..serving.updates import make_model_updatable
 from ..traces.locality import LocalityTraceGenerator
 from ..traces.powerlaw import ZipfTraceGenerator
@@ -192,8 +194,24 @@ class ScenarioSpec:
     # with the tenants' read traffic.  None keeps the read-only timeline
     # bit-identical to the pre-update implementation.
     updates: Optional[UpdateStreamSpec] = None
+    # Row placement (repro.ftl.layout / repro.embedding.placement):
+    # "modulo" keeps the legacy identity layout; "frequency" profiles
+    # each tenant's id distribution for ``layout_profile_batches``
+    # batches before registration and heat-packs table pages from it.
+    # A positive ``layout_migration_budget`` additionally installs the
+    # GC-piggybacked migrator (at most that many rows re-packed per
+    # reclaimed victim block) fed by an online HeatTracker.
+    layout: str = "modulo"
+    layout_profile_batches: int = 32
+    layout_migration_budget: int = 0
 
     def __post_init__(self) -> None:
+        if self.layout not in ("modulo", "frequency"):
+            raise ValueError(f"unknown layout {self.layout!r} (modulo|frequency)")
+        if self.layout_profile_batches < 0:
+            raise ValueError("layout_profile_batches must be >= 0")
+        if self.layout_migration_budget < 0:
+            raise ValueError("layout_migration_budget must be >= 0")
         if not self.tenants:
             raise ValueError("scenario needs at least one tenant")
         names = [t.model for t in self.tenants]
@@ -321,6 +339,17 @@ def run_scenario(
             min_capacity_pages=capacity,
             ndp=NdpEngineConfig(queue_when_full=True),
         )
+    heat_by_model: Dict[str, Dict[str, np.ndarray]] = {}
+    if spec.layout == "frequency":
+        heat_by_model = _profile_tenant_heat(spec, by_name)
+        for name, per_table in heat_by_model.items():
+            for table_name, heat in per_table.items():
+                by_name[name].tables[table_name].set_heat(heat)
+            if isinstance(sharding, RowShardPolicy):
+                # The same frequency histogram that packs pages also
+                # seeds RowShardPolicy's frequency-range partitioning.
+                for table_name, heat in per_table.items():
+                    sharding.profiles.setdefault(table_name, heat)
     server = InferenceServer(system, spec.serving_config())
     if tracer is not None:
         tracer.install(server.sim)
@@ -331,6 +360,8 @@ def run_scenario(
             num_workers=num_workers,
             sharding=sharding,
         )
+    if spec.layout == "frequency" and spec.layout_migration_budget > 0:
+        _install_layout_migration(server, spec.layout_migration_budget)
     generators = [
         tenant.to_generator(by_name[tenant.model], seed=spec.seed + 101 * i)
         for i, tenant in enumerate(spec.tenants)
@@ -359,3 +390,82 @@ def run_scenario(
         lanes=stats.lane_summary(),
         updates={} if update_engine is None else update_engine.summary(),
     )
+
+
+def _profile_tenant_heat(
+    spec: ScenarioSpec, by_name: Mapping[str, RecModel]
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Frequency histograms per (model, table) from the tenants' samplers.
+
+    Draws ``layout_profile_batches`` batches from each tenant's id
+    distribution, seeded like the serving stream: the locality/zipf
+    generators pick *which* rows are popular from their seed, so a
+    profile drawn under a different seed would rank the wrong rows hot.
+    This models profiling yesterday's traffic from the same population.
+    Tenants sharing a model accumulate into one histogram.  Uniform
+    tenants (no locality/zipf shape) contribute nothing — with no
+    profile at all the table keeps the legacy identity layout.
+    """
+    heat_by_model: Dict[str, Dict[str, np.ndarray]] = {}
+    for i, tenant in enumerate(spec.tenants):
+        model = by_name[tenant.model]
+        samplers = tenant_samplers(
+            model, tenant.locality_k, tenant.zipf_alpha, seed=spec.seed + 101 * i
+        )
+        if samplers is None or spec.layout_profile_batches == 0:
+            continue
+        per_table = heat_by_model.setdefault(tenant.model, {})
+        for feature in model.features:
+            sampler = samplers[feature.name]
+            heat = profile_heat(
+                sampler,
+                feature.spec.rows,
+                batches=spec.layout_profile_batches,
+                batch_size=max(1, tenant.batch_size) * feature.lookups,
+            )
+            if feature.name in per_table:
+                per_table[feature.name] += heat
+            else:
+                per_table[feature.name] = heat
+    return heat_by_model
+
+
+def _install_layout_migration(server: InferenceServer, budget_rows: int) -> None:
+    """Wire GC-piggybacked re-packing for every heat-packed table.
+
+    One :class:`LayoutMigrator` per device (installed as
+    ``ftl.layout_migrator``); every attached backend table carrying a
+    :class:`~repro.ftl.layout.FrequencyLayout` gets a
+    :class:`HeatTracker` seeded from its load-time profile and installed
+    as ``table.heat_tracker`` so the backend request funnel feeds it.
+    """
+    migrators: Dict[int, LayoutMigrator] = {}
+    seen: Dict[int, None] = {}
+    for table in _attached_backend_tables(server):
+        if table.layout is None or id(table) in seen:
+            continue
+        seen[id(table)] = None
+        tracker = HeatTracker(table.spec.rows, initial=table.heat)
+        table.heat_tracker = tracker
+        device = table.device
+        migrator = migrators.get(id(device))
+        if migrator is None:
+            migrator = migrators[id(device)] = LayoutMigrator(budget_rows)
+            device.ftl.layout_migrator = migrator
+        migrator.register(table, tracker)
+
+
+def _attached_backend_tables(server: InferenceServer):
+    """Every device-attached table behind the server's workers."""
+    for pool in server.workers.values():
+        for worker in pool:
+            stage = worker.stage
+            backend_maps = []
+            if hasattr(stage, "backends"):
+                backend_maps.append(stage.backends)
+            backend_maps.extend(getattr(stage, "backends_by_shard", []) or [])
+            for backends in backend_maps:
+                for backend in backends.values():
+                    table = getattr(backend, "table", None)
+                    if table is not None and getattr(table, "attached", False):
+                        yield table

@@ -76,6 +76,56 @@ class TestGarbageCollection:
         assert ftl.flash.store.erase_count == ftl.gc.blocks_reclaimed + ftl.wear.migrations
 
 
+class TestMigrationRewriteRace:
+    """A page rewritten while its GC/wear migration is in flight must
+    abort the move — no flash program paid for a stale copy (regression:
+    the pre-fix code only checked the mapping at the final remap, after
+    it had already allocated and programmed the page)."""
+
+    def test_gc_move_aborts_when_lpn_rewritten_mid_flight(self, sim, device):
+        ftl = device.ftl
+        fill(sim, ftl, [0], tag=0)
+        programs_before = ftl.flash.total_programs
+        finished = []
+        ftl.gc._move_page(0, 0, lambda: finished.append(True))
+        # The migration's flash read is now in flight; retire the lpn the
+        # way a completed foreground overwrite would (deterministically,
+        # via trim) before the read callback runs.
+        ftl.mapping.unmap(0)
+        sim.run()
+        assert finished == [True]
+        assert ftl.flash.total_programs == programs_before
+        assert ftl.gc.pages_moved == 0
+        assert ftl.gc.moves_aborted == 1
+        ftl.mapping.check_consistency()
+
+    def test_wear_move_aborts_when_lpn_rewritten_mid_flight(self, sim, device):
+        ftl = device.ftl
+        fill(sim, ftl, [0], tag=0)
+        programs_before = ftl.flash.total_programs
+        finished = []
+        ftl.wear._move_page(0, lambda: finished.append(True))
+        ftl.mapping.unmap(0)
+        sim.run()
+        assert finished == [True]
+        assert ftl.flash.total_programs == programs_before
+        assert ftl.wear.moves_aborted == 1
+        ftl.mapping.check_consistency()
+
+    def test_gc_move_completes_when_mapping_unchanged(self, sim, device):
+        ftl = device.ftl
+        fill(sim, ftl, [0], tag=0)
+        old_ppn = ftl.mapping.lookup(0)
+        finished = []
+        ftl.gc._move_page(0, 0, lambda: finished.append(True))
+        sim.run()
+        assert finished == [True]
+        assert ftl.gc.pages_moved == 1
+        assert ftl.gc.moves_aborted == 0
+        assert ftl.mapping.lookup(0) != old_ppn
+        ftl.mapping.check_consistency()
+
+
 class TestWearLeveling:
     def test_wear_migrations_bound_spread(self, sim):
         device = small_ssd(sim)

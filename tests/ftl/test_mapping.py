@@ -87,16 +87,66 @@ class TestBulkMap:
         assert table.lookup(4) == 2
         table.check_consistency()
 
-    def test_bulk_map_rejects_overlap(self, table):
+    def test_bulk_map_remaps_mapped_lpn_like_map(self, table):
+        # Remapping an already-mapped lpn mirrors map(): the old ppn is
+        # invalidated and returned.
+        table.map(10, 5)
+        old = table.bulk_map(10, np.array([6], dtype=np.int64))
+        assert old.tolist() == [5]
+        assert table.lookup(10) == 6
+        assert table.reverse(5) == UNMAPPED
+        table.check_consistency()
+
+    def test_bulk_map_rejects_occupied_ppn(self, table):
         table.map(10, 5)
         with pytest.raises(ValueError):
-            table.bulk_map(10, np.array([6], dtype=np.int64))
-        with pytest.raises(ValueError):
             table.bulk_map(20, np.array([5], dtype=np.int64))
+        with pytest.raises(ValueError):
+            table.bulk_map_pairs(
+                np.array([20, 21], dtype=np.int64),
+                np.array([7, 7], dtype=np.int64),  # duplicate target ppn
+            )
 
     def test_bulk_map_bounds(self, table):
         with pytest.raises(IndexError):
             table.bulk_map(95, np.array([1, 2], dtype=np.int64))
+
+    def test_bulk_map_pairs_duplicate_lpns_last_write_wins(self, table):
+        # Regression: a batch carrying the same lpn twice used to leave
+        # the loser's ppn in p2l and its block's valid count inflated
+        # (check_consistency() tripped); last-write-wins must match the
+        # sequential map() semantics exactly.
+        lpns = np.array([7, 3, 7, 3, 9], dtype=np.int64)
+        ppns = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        invalidated = table.bulk_map_pairs(lpns, ppns)
+        assert table.lookup(7) == 2
+        assert table.lookup(3) == 3
+        assert table.lookup(9) == 4
+        # Losing duplicates' ppns are dead on arrival.
+        assert invalidated.tolist() == [0, 1]
+        assert table.reverse(0) == UNMAPPED
+        assert table.reverse(1) == UNMAPPED
+        assert table.mapped_count == 3
+        table.check_consistency()
+
+        # Shadow-model equivalence against sequential map() on a fresh
+        # table (same pairs, one at a time).
+        seq = MappingTable(GEO, logical_pages=96)
+        seq_old = [seq.map(int(l), int(p)) for l, p in zip(lpns, ppns)]
+        for lpn in (7, 3, 9):
+            assert seq.lookup(lpn) == table.lookup(lpn)
+        assert sorted(o for o in seq_old if o != UNMAPPED) == invalidated.tolist()
+
+    def test_bulk_map_pairs_returns_old_ppns_of_remapped_lpns(self, table):
+        table.bulk_map_pairs(
+            np.array([1, 2], dtype=np.int64), np.array([10, 11], dtype=np.int64)
+        )
+        out = table.bulk_map_pairs(
+            np.array([2, 1], dtype=np.int64), np.array([20, 21], dtype=np.int64)
+        )
+        assert out.tolist() == [10, 11]
+        assert table.lookup(1) == 21 and table.lookup(2) == 20
+        table.check_consistency()
 
 
 @settings(max_examples=50, deadline=None)

@@ -59,6 +59,17 @@ def test_ci_runs_updates_bench_smoke():
     assert "p99_recovered_x" in ci
 
 
+def test_ci_runs_layout_bench_smoke():
+    """The frequency-layout contract (fewer flash page reads per bag
+    than modulo, migration recovering the post-shift gap) runs on every
+    push."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "benchmarks/bench_layout.py --smoke" in ci
+    assert "BENCH_layout.json" in ci
+    assert "page_read_reduction_x" in ci
+    assert "shift_recovery_frac" in ci
+
+
 def test_pyproject_declares_slow_marker_and_cov_extra():
     pyproject = (REPO / "pyproject.toml").read_text()
     assert 'slow' in pyproject and "markers" in pyproject
